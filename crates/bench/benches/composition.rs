@@ -1,0 +1,81 @@
+//! Summary application and composition throughput (§3.6): the reducer-side
+//! cost SYMPLE pays instead of running the UDA over raw records.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::hint::black_box;
+
+use symple_core::compose::{apply_chain, apply_summary, collapse_chain, compose_summaries};
+use symple_core::engine::{EngineConfig, SymbolicExecutor};
+use symple_core::summary::SummaryChain;
+use symple_core::uda::Uda;
+use symple_queries::bing_q::GapUda;
+
+fn chunk_chain(uda: &GapUda, base: i64, n: usize) -> SummaryChain<<GapUda as Uda>::State> {
+    let events: Vec<i64> = (0..n as i64)
+        .map(|i| base + i * 40 + (i % 13) * 25)
+        .collect();
+    let mut exec = SymbolicExecutor::new(uda, EngineConfig::default());
+    exec.feed_all(events.iter()).unwrap();
+    exec.finish().0
+}
+
+fn bench_apply(c: &mut Criterion) {
+    let uda = GapUda::new(120);
+    let chains: Vec<_> = (0..64)
+        .map(|m| chunk_chain(&uda, m * 100_000, 500))
+        .collect();
+    let init = uda.init();
+    let mut g = c.benchmark_group("reducer_apply");
+    g.throughput(Throughput::Elements(chains.len() as u64));
+    g.bench_function("apply_64_mapper_chains", |b| {
+        b.iter(|| {
+            let mut state = init.clone();
+            for chain in black_box(&chains) {
+                state = apply_chain(chain, &state).unwrap();
+            }
+            state
+        })
+    });
+    g.finish();
+}
+
+fn bench_compose(c: &mut Criterion) {
+    let uda = GapUda::new(120);
+    let s1 = chunk_chain(&uda, 0, 500).summaries()[0].clone();
+    let s2 = chunk_chain(&uda, 100_000, 500).summaries()[0].clone();
+    let mut g = c.benchmark_group("symbolic_compose");
+    g.bench_function("compose_pair", |b| {
+        b.iter(|| compose_summaries(black_box(&s2), black_box(&s1)).unwrap())
+    });
+    let init = uda.init();
+    let composed = compose_summaries(&s2, &s1).unwrap();
+    g.bench_function("apply_composed", |b| {
+        b.iter(|| apply_summary(black_box(&composed), &init).unwrap())
+    });
+    g.finish();
+}
+
+fn bench_tree_reduction(c: &mut Criterion) {
+    // Associative tree reduction vs sequential application over a chain of
+    // mapper summaries.
+    let uda = GapUda::new(120);
+    let mut g = c.benchmark_group("chain_collapse");
+    for n in [4usize, 16] {
+        let chain = SummaryChain::new(
+            (0..n)
+                .flat_map(|m| {
+                    chunk_chain(&uda, m as i64 * 100_000, 200)
+                        .summaries()
+                        .to_vec()
+                })
+                .collect(),
+        );
+        g.bench_with_input(BenchmarkId::from_parameter(n), &chain, |b, ch| {
+            b.iter(|| collapse_chain(black_box(ch)).unwrap())
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_apply, bench_compose, bench_tree_reduction);
+criterion_main!(benches);

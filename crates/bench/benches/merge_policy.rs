@@ -1,0 +1,79 @@
+//! Ablation of §5.2's merge heuristic: eager merging vs the paper's
+//! high-water-mark policy vs never merging (relying purely on the restart
+//! fallback). DESIGN.md calls this design choice out; the bench quantifies
+//! both the exploration cost and the resulting summary size.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::hint::black_box;
+
+use symple_core::engine::{EngineConfig, MergePolicy, SymbolicExecutor};
+use symple_datagen::{generate_weblog, WeblogConfig};
+use symple_queries::funnel::FunnelUda;
+
+fn events(n: usize) -> Vec<(u8, u64)> {
+    generate_weblog(&WeblogConfig {
+        num_records: n,
+        num_users: 1,
+        ..Default::default()
+    })
+    .into_iter()
+    .map(|e| (e.kind as u8, e.item_id))
+    .collect()
+}
+
+fn bench_policies(c: &mut Criterion) {
+    let uda = FunnelUda;
+    let ev = events(5_000);
+    let mut g = c.benchmark_group("merge_policy");
+    g.throughput(Throughput::Elements(ev.len() as u64));
+    for policy in [
+        MergePolicy::Eager,
+        MergePolicy::HighWater,
+        MergePolicy::Never,
+    ] {
+        let cfg = EngineConfig {
+            merge_policy: policy,
+            ..EngineConfig::default()
+        };
+        g.bench_with_input(
+            BenchmarkId::from_parameter(format!("{policy:?}")),
+            &cfg,
+            |b, cfg| {
+                b.iter(|| {
+                    let mut exec = SymbolicExecutor::new(&uda, *cfg);
+                    exec.feed_all(black_box(&ev)).unwrap();
+                    exec.finish().0
+                })
+            },
+        );
+    }
+    g.finish();
+
+    // Report summary shapes once (printed alongside the bench output).
+    for policy in [
+        MergePolicy::Eager,
+        MergePolicy::HighWater,
+        MergePolicy::Never,
+    ] {
+        let cfg = EngineConfig {
+            merge_policy: policy,
+            ..EngineConfig::default()
+        };
+        let mut exec = SymbolicExecutor::new(&uda, cfg);
+        exec.feed_all(ev.iter()).unwrap();
+        let (chain, stats) = exec.finish();
+        println!(
+            "merge_policy {:?}: summaries={} paths={} wire={}B runs={} merges={} restarts={}",
+            policy,
+            chain.len(),
+            chain.total_paths(),
+            chain.wire_len(),
+            stats.runs,
+            stats.merges,
+            stats.restarts
+        );
+    }
+}
+
+criterion_group!(benches, bench_policies);
+criterion_main!(benches);

@@ -1,0 +1,115 @@
+//! Ablation: the paper's `Max` UDA expressed over `SymInt` (a fork per
+//! chunk, two-path summaries) versus the user-defined `SymMinMax` type
+//! (§4.5's extensibility interface: zero forks, one-path summaries).
+//! Quantifies how much a purpose-built canonical form buys.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use std::hint::black_box;
+
+use symple_core::engine::{EngineConfig, SymbolicExecutor};
+use symple_core::impl_sym_state;
+use symple_core::types::sym_int::SymInt;
+use symple_core::types::sym_minmax::{Extremum, SymMinMax};
+use symple_core::uda::Uda;
+use symple_core::SymCtx;
+
+struct IntMax;
+#[derive(Clone, Debug)]
+struct IntMaxState {
+    max: SymInt,
+}
+impl_sym_state!(IntMaxState { max });
+impl Uda for IntMax {
+    type State = IntMaxState;
+    type Event = i64;
+    type Output = i64;
+    fn init(&self) -> IntMaxState {
+        IntMaxState {
+            max: SymInt::new(i64::MIN),
+        }
+    }
+    fn update(&self, s: &mut IntMaxState, ctx: &mut SymCtx, e: &i64) {
+        if s.max.lt(ctx, *e) {
+            s.max.assign(*e);
+        }
+    }
+    fn result(&self, s: &IntMaxState, _ctx: &mut SymCtx) -> i64 {
+        s.max.concrete_value().unwrap()
+    }
+}
+
+struct MinMaxMax;
+#[derive(Clone, Debug)]
+struct MmState {
+    max: SymMinMax,
+}
+impl_sym_state!(MmState { max });
+impl Uda for MinMaxMax {
+    type State = MmState;
+    type Event = i64;
+    type Output = i64;
+    fn init(&self) -> MmState {
+        MmState {
+            max: SymMinMax::new(Extremum::Max),
+        }
+    }
+    fn update(&self, s: &mut MmState, _ctx: &mut SymCtx, e: &i64) {
+        s.max.update(*e);
+    }
+    fn result(&self, s: &MmState, _ctx: &mut SymCtx) -> i64 {
+        s.max.concrete_value().unwrap()
+    }
+}
+
+fn inputs(n: usize) -> Vec<i64> {
+    (0..n as i64)
+        .map(|i| (i * 2_654_435_761) % 1_000_003)
+        .collect()
+}
+
+fn bench_max_representations(c: &mut Criterion) {
+    let events = inputs(10_000);
+    let mut g = c.benchmark_group("max_uda_representation");
+    g.throughput(Throughput::Elements(events.len() as u64));
+    g.bench_function("sym_int_branching", |b| {
+        b.iter(|| {
+            let uda = IntMax;
+            let mut exec = SymbolicExecutor::new(&uda, EngineConfig::default());
+            exec.feed_all(black_box(&events)).unwrap();
+            exec.finish().0
+        })
+    });
+    g.bench_function("sym_minmax_custom_type", |b| {
+        b.iter(|| {
+            let uda = MinMaxMax;
+            let mut exec = SymbolicExecutor::new(&uda, EngineConfig::default());
+            exec.feed_all(black_box(&events)).unwrap();
+            exec.finish().0
+        })
+    });
+    g.finish();
+
+    // One-shot shape report alongside the timing numbers.
+    for (name, paths, forks, bytes) in [shape(&IntMax, &events), shape(&MinMaxMax, &events)] {
+        println!("{name}: paths={paths} forks={forks} summary={bytes}B");
+    }
+}
+
+fn shape<U: Uda<Event = i64>>(uda: &U, events: &[i64]) -> (&'static str, usize, u64, usize) {
+    let mut exec = SymbolicExecutor::new(uda, EngineConfig::default());
+    exec.feed_all(events).unwrap();
+    let (chain, stats) = exec.finish();
+    let name = std::any::type_name::<U>()
+        .rsplit("::")
+        .next()
+        .unwrap_or("?");
+    let name: &'static str = if name.contains("IntMax") {
+        "SymInt Max"
+    } else {
+        "SymMinMax Max"
+    };
+    (name, chain.total_paths(), stats.forks, chain.wire_len())
+}
+
+criterion_group!(benches, bench_max_representations);
+criterion_main!(benches);

@@ -1,0 +1,112 @@
+//! §6.2's central microbenchmark: the CPU overhead of symbolic execution
+//! over concrete execution, per input record.
+//!
+//! The paper reports 4%–35% (average 22%) end-to-end for SYMPLE with one
+//! mapper; this bench isolates the engine itself on three representative
+//! UDAs (the Figure 1 funnel, the gap detector, and plain counting).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::hint::black_box;
+
+use symple_core::engine::{EngineConfig, SymbolicExecutor};
+use symple_core::uda::run_concrete_state;
+use symple_datagen::{generate_weblog, WeblogConfig};
+use symple_queries::bing_q::GapUda;
+use symple_queries::funnel::FunnelUda;
+use symple_queries::redshift_q::R1Uda;
+
+fn funnel_events(n: usize) -> Vec<(u8, u64)> {
+    generate_weblog(&WeblogConfig {
+        num_records: n,
+        num_users: 1,
+        ..WeblogConfig::default()
+    })
+    .into_iter()
+    .map(|e| (e.kind as u8, e.item_id))
+    .collect()
+}
+
+fn gap_events(n: usize) -> Vec<i64> {
+    (0..n as i64).map(|i| i * 40 + (i % 13) * 25).collect()
+}
+
+fn bench_funnel(c: &mut Criterion) {
+    let events = funnel_events(10_000);
+    let uda = FunnelUda;
+    let mut g = c.benchmark_group("funnel_uda");
+    g.throughput(Throughput::Elements(events.len() as u64));
+    g.bench_function("concrete", |b| {
+        b.iter(|| run_concrete_state(&uda, black_box(&events)).unwrap())
+    });
+    g.bench_function("symbolic", |b| {
+        b.iter(|| {
+            let mut exec = SymbolicExecutor::new(&uda, EngineConfig::default());
+            exec.feed_all(black_box(&events)).unwrap();
+            exec.finish().0
+        })
+    });
+    g.finish();
+}
+
+fn bench_gap(c: &mut Criterion) {
+    let events = gap_events(10_000);
+    let uda = GapUda::new(120);
+    let mut g = c.benchmark_group("gap_uda");
+    g.throughput(Throughput::Elements(events.len() as u64));
+    g.bench_function("concrete", |b| {
+        b.iter(|| run_concrete_state(&uda, black_box(&events)).unwrap())
+    });
+    g.bench_function("symbolic", |b| {
+        b.iter(|| {
+            let mut exec = SymbolicExecutor::new(&uda, EngineConfig::default());
+            exec.feed_all(black_box(&events)).unwrap();
+            exec.finish().0
+        })
+    });
+    g.finish();
+}
+
+fn bench_count(c: &mut Criterion) {
+    let events = vec![(); 10_000];
+    let uda = R1Uda;
+    let mut g = c.benchmark_group("count_uda");
+    g.throughput(Throughput::Elements(events.len() as u64));
+    g.bench_function("concrete", |b| {
+        b.iter(|| run_concrete_state(&uda, black_box(&events)).unwrap())
+    });
+    g.bench_function("symbolic", |b| {
+        b.iter(|| {
+            let mut exec = SymbolicExecutor::new(&uda, EngineConfig::default());
+            exec.feed_all(black_box(&events)).unwrap();
+            exec.finish().0
+        })
+    });
+    g.finish();
+}
+
+fn bench_chunk_sizes(c: &mut Criterion) {
+    // Per-record cost as chunk size grows: symbolic summaries amortize.
+    let uda = GapUda::new(120);
+    let mut g = c.benchmark_group("gap_uda_chunk_size");
+    for n in [100usize, 1_000, 10_000] {
+        let events = gap_events(n);
+        g.throughput(Throughput::Elements(n as u64));
+        g.bench_with_input(BenchmarkId::from_parameter(n), &events, |b, ev| {
+            b.iter(|| {
+                let mut exec = SymbolicExecutor::new(&uda, EngineConfig::default());
+                exec.feed_all(black_box(ev)).unwrap();
+                exec.finish().0
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_funnel,
+    bench_gap,
+    bench_count,
+    bench_chunk_sizes
+);
+criterion_main!(benches);

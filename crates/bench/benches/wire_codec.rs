@@ -1,0 +1,98 @@
+//! Wire-format throughput (§2.3): summaries must serialize compactly and
+//! fast, since every shuffle byte crosses the network.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use std::hint::black_box;
+
+use symple_core::engine::{EngineConfig, SymbolicExecutor};
+use symple_core::summary::SummaryChain;
+use symple_core::uda::Uda;
+use symple_core::wire::Wire;
+use symple_datagen::{generate_weblog, WeblogConfig};
+use symple_queries::funnel::FunnelUda;
+
+fn sample_chain() -> (FunnelUda, SummaryChain<<FunnelUda as Uda>::State>) {
+    let uda = FunnelUda;
+    let events: Vec<(u8, u64)> = generate_weblog(&WeblogConfig {
+        num_records: 2_000,
+        num_users: 1,
+        ..Default::default()
+    })
+    .into_iter()
+    .map(|e| (e.kind as u8, e.item_id))
+    .collect();
+    let chain = {
+        let mut exec = SymbolicExecutor::new(&uda, EngineConfig::default());
+        exec.feed_all(events.iter()).unwrap();
+        exec.finish().0
+    };
+    (uda, chain)
+}
+
+fn bench_summary_codec(c: &mut Criterion) {
+    let (uda, chain) = sample_chain();
+    let mut buf = Vec::new();
+    chain.encode(&mut buf);
+    let template = uda.init();
+    let mut g = c.benchmark_group("summary_codec");
+    g.throughput(Throughput::Bytes(buf.len() as u64));
+    g.bench_function("encode", |b| {
+        b.iter(|| {
+            let mut out = Vec::new();
+            black_box(&chain).encode(&mut out);
+            out
+        })
+    });
+    g.bench_function("decode", |b| {
+        b.iter(|| {
+            let mut rd = &buf[..];
+            SummaryChain::<<FunnelUda as Uda>::State>::decode(&template, &mut rd).unwrap()
+        })
+    });
+    g.finish();
+}
+
+fn bench_event_codec(c: &mut Criterion) {
+    // The baseline's shuffle payload: per-key event vectors.
+    let events: Vec<(u8, u64)> = (0..10_000).map(|i| ((i % 4) as u8, i as u64)).collect();
+    let buf = events.to_wire();
+    let mut g = c.benchmark_group("event_codec");
+    g.throughput(Throughput::Bytes(buf.len() as u64));
+    g.bench_function("encode", |b| b.iter(|| black_box(&events).to_wire()));
+    g.bench_function("decode", |b| {
+        b.iter(|| {
+            let mut rd = &buf[..];
+            Vec::<(u8, u64)>::decode(&mut rd).unwrap()
+        })
+    });
+    g.finish();
+}
+
+fn bench_varint(c: &mut Criterion) {
+    let values: Vec<i64> = (0..10_000).map(|i| i * 37 - 5_000).collect();
+    let mut g = c.benchmark_group("varint");
+    g.throughput(Throughput::Elements(values.len() as u64));
+    g.bench_function("zigzag_roundtrip", |b| {
+        b.iter(|| {
+            let mut buf = Vec::with_capacity(values.len() * 2);
+            for v in black_box(&values) {
+                symple_core::wire::put_ivarint(&mut buf, *v);
+            }
+            let mut rd = &buf[..];
+            let mut sum = 0i64;
+            while !rd.is_empty() {
+                sum = sum.wrapping_add(symple_core::wire::get_ivarint(&mut rd).unwrap());
+            }
+            sum
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_summary_codec,
+    bench_event_codec,
+    bench_varint
+);
+criterion_main!(benches);

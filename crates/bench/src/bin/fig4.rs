@@ -1,0 +1,95 @@
+//! Regenerates **Figure 4**: multi-core throughput (MB/s) of Sequential,
+//! SYMPLE and Local MapReduce with 1, 2 and 4 mappers, on queries G1–G4
+//! and R1–R4 over in-memory data (§6.2).
+//!
+//! `cargo run -p symple-bench --bin fig4 --release [--records N]`
+
+use symple_bench::{bar, measurement_scale, records_from_args};
+use symple_mapreduce::JobConfig;
+use symple_queries::{runner_by_id, Backend, DataScale};
+
+const QUERIES: [&str; 8] = ["G1", "G2", "G3", "G4", "R1", "R2", "R3", "R4"];
+
+fn throughput(id: &str, scale: &DataScale, backend: Backend, workers: usize) -> f64 {
+    let runner = runner_by_id(id).expect("known query");
+    let job = JobConfig {
+        reduce_workers: workers,
+        // §6.2's local SYMPLE computes symbolic summaries in *every*
+        // mapper — that is the overhead being measured.
+        first_segment_concrete: false,
+        ..JobConfig::default()
+            .with_map_workers(workers)
+            .with_reducers(workers.max(1))
+    };
+    let mut s = *scale;
+    s.segments = workers.max(1);
+    let report = runner.run(&s, backend, &job).expect("query run");
+    // Parallel wall is modeled from measured per-task CPU: the measuring
+    // host may have fewer cores than the configuration under study (see
+    // `JobMetrics::modeled_wall` and DESIGN.md's substitution notes).
+    report.metrics.modeled_throughput_mb_s(workers, workers)
+}
+
+fn main() {
+    let records = records_from_args();
+    println!("Figure 4: throughput on a multi-core machine (MB/s)");
+    println!("measurement: {records} records/query, raw record sizes as §6.1");
+    println!(
+        "multi-worker wall times are modeled from measured per-task CPU \
+         (see DESIGN.md: the measuring host may have fewer cores)"
+    );
+    println!("{}", "=".repeat(98));
+    println!(
+        "{:<5} {:>10} | {:>9} {:>9} {:>9} | {:>9} {:>9} {:>9}",
+        "query", "Sequential", "SYM 1m", "SYM 2m", "SYM 4m", "MR 1m", "MR 2m", "MR 4m"
+    );
+    println!("{}", "-".repeat(98));
+
+    let mut rows = Vec::new();
+    for id in QUERIES {
+        let scale = measurement_scale(id, records);
+        let seq = throughput(id, &scale, Backend::Sequential, 1);
+        let sym: Vec<f64> = [1, 2, 4]
+            .iter()
+            .map(|w| throughput(id, &scale, Backend::Symple, *w))
+            .collect();
+        // The paper's Local MapReduce pipes every record through Unix
+        // sort; `SortedBaseline` reproduces that per-record shuffle.
+        let mr: Vec<f64> = [1, 2, 4]
+            .iter()
+            .map(|w| throughput(id, &scale, Backend::SortedBaseline, *w))
+            .collect();
+        println!(
+            "{:<5} {:>10.0} | {:>9.0} {:>9.0} {:>9.0} | {:>9.0} {:>9.0} {:>9.0}",
+            id, seq, sym[0], sym[1], sym[2], mr[0], mr[1], mr[2]
+        );
+        rows.push((id, seq, sym, mr));
+    }
+    println!("{}", "-".repeat(98));
+
+    // §6.2's headline claims, recomputed.
+    let overheads: Vec<f64> = rows
+        .iter()
+        .map(|(_, seq, sym, _)| (seq - sym[0]) / seq * 100.0)
+        .collect();
+    let avg_overhead = overheads.iter().sum::<f64>() / overheads.len() as f64;
+    println!("\nSYMPLE(1 mapper) overhead vs Sequential (paper: 4%–35%, avg 22%):");
+    for ((id, ..), ov) in rows.iter().zip(&overheads) {
+        println!("  {id:<4} {ov:>6.1}%  {}", bar(ov.max(0.0), 60.0, 30));
+    }
+    println!("  avg  {avg_overhead:>6.1}%");
+
+    let scaling: Vec<f64> = rows.iter().map(|(_, _, sym, _)| sym[2] / sym[0]).collect();
+    let avg_scaling = scaling.iter().sum::<f64>() / scaling.len() as f64;
+    println!("\nSYMPLE scaling 1→4 mappers (paper: \"scales with the number of mappers\"):");
+    println!("  avg speedup {avg_scaling:.2}x");
+
+    let mr_gap: Vec<f64> = rows.iter().map(|(_, _, sym, mr)| sym[2] / mr[2]).collect();
+    let avg_gap = mr_gap.iter().sum::<f64>() / mr_gap.len() as f64;
+    println!("\nLocal SYMPLE (4m) vs Local MapReduce (4m) (paper: 3.6x on average):");
+    println!("  avg ratio {avg_gap:.2}x");
+
+    println!("\ndisk-speed check (paper: sequential ≥ 6x a 100 MB/s disk):");
+    let min_seq = rows.iter().map(|r| r.1).fold(f64::INFINITY, f64::min);
+    println!("  slowest sequential query: {min_seq:.0} MB/s");
+}

@@ -1,0 +1,70 @@
+//! Regenerates **Figure 6**: Amazon EMR shuffle data size (MB, log Y
+//! axis) with the paper's per-query reduction ratios (§6.3).
+//!
+//! `cargo run -p symple-bench --bin fig6 --release [--records N]`
+
+use symple_bench::{log_bar, measure, ratio_label, records_from_args, target_for};
+use symple_cluster::model::{ScaledJob, ShuffleLaw};
+use symple_mapreduce::JobConfig;
+use symple_queries::Backend;
+
+const QUERIES: [&str; 12] = [
+    "G1", "G2", "G3", "G4", "R1", "R2", "R3", "R4", "R1c", "R2c", "R3c", "R4c",
+];
+
+fn main() {
+    let records = records_from_args();
+    let job = JobConfig::default();
+    println!("Figure 6: Amazon EMR shuffle data size (MB; log scale)");
+    println!("measurement: {records} records/query, extrapolated to the paper's datasets");
+    println!("{}", "=".repeat(96));
+    println!(
+        "{:<5} {:>14} {:>12} {:>8}   log-scale bars (MR then SYMPLE)",
+        "query", "MapReduce MB", "SYMPLE MB", "ratio"
+    );
+    println!("{}", "-".repeat(96));
+
+    let mut g_ratios = Vec::new();
+    let mut r_ratios = Vec::new();
+    for id in QUERIES {
+        let target = target_for(id);
+        let (_, base_prof) = measure(id, records, Backend::SortedBaseline, &job).expect("baseline");
+        let (_, sym_prof) = measure(id, records, Backend::Symple, &job).expect("symple");
+        let base =
+            ScaledJob::extrapolate(&base_prof, target.workload, ShuffleLaw::PerRecord).shuffle_mb();
+        let sym = ScaledJob::extrapolate(&sym_prof, target.workload, ShuffleLaw::PerEmission)
+            .shuffle_mb();
+        let ratio = base / sym.max(1e-9);
+        if id.starts_with('G') {
+            g_ratios.push(ratio);
+        } else {
+            r_ratios.push(ratio);
+        }
+        println!(
+            "{:<5} {:>14.1} {:>12.3} {:>8}   {}",
+            id,
+            base,
+            sym,
+            ratio_label(base, sym),
+            log_bar(base, 0.01, 100_000.0, 28)
+        );
+        println!(
+            "{:<5} {:>14} {:>12} {:>8}   {}",
+            "",
+            "",
+            "",
+            "",
+            log_bar(sym, 0.01, 100_000.0, 28)
+        );
+    }
+    println!("{}", "-".repeat(96));
+    println!(
+        "\npaper shape: github savings 4–8x (lots of groupby parallelism), RedShift \
+         ≈2 orders of magnitude (10K groups)"
+    );
+    println!(
+        "  measured: github avg {:.1}x, RedShift avg {:.0}x",
+        g_ratios.iter().sum::<f64>() / g_ratios.len().max(1) as f64,
+        r_ratios.iter().sum::<f64>() / r_ratios.len().max(1) as f64
+    );
+}

@@ -1,0 +1,63 @@
+//! Regenerates **Figure 7**: CPU usage (×1000 seconds) of the 8 queries
+//! run on the 380-node shared Hadoop cluster (§6.4), plus the B1 latency
+//! anecdote (4.5 h baseline vs 5.5 min SYMPLE).
+//!
+//! `cargo run -p symple-bench --bin fig7 --release [--records N]`
+
+use symple_bench::{bar, measure, records_from_args, target_for};
+use symple_cluster::big::{big_cluster_run, BigClusterConfig};
+use symple_cluster::model::{ScaledJob, ShuffleLaw};
+use symple_mapreduce::JobConfig;
+use symple_queries::Backend;
+
+const QUERIES: [&str; 8] = ["G1", "G2", "G3", "G4", "B1", "B2", "B3", "T1"];
+
+fn main() {
+    let records = records_from_args();
+    let job = JobConfig::default();
+    let cluster = BigClusterConfig::default();
+    println!("Figure 7: CPU usage for 8 queries on a 380-node Hadoop cluster (x1000 secs)");
+    println!("measurement: {records} records/query, extrapolated to the paper's datasets");
+    println!("{}", "=".repeat(92));
+    println!(
+        "{:<5} {:>13} {:>11} {:>8}   ",
+        "query", "MapReduce", "SYMPLE", "ratio"
+    );
+    println!("{}", "-".repeat(92));
+
+    let mut b1_lat = (0.0, 0.0);
+    for id in QUERIES {
+        let target = target_for(id);
+        let (_, base_prof) = measure(id, records, Backend::SortedBaseline, &job).expect("baseline");
+        let (_, sym_prof) = measure(id, records, Backend::Symple, &job).expect("symple");
+        let base_job = ScaledJob::extrapolate(&base_prof, target.workload, ShuffleLaw::PerRecord);
+        let sym_job = ScaledJob::extrapolate(&sym_prof, target.workload, ShuffleLaw::PerEmission);
+        let base = big_cluster_run(&cluster, &base_job);
+        let sym = big_cluster_run(&cluster, &sym_job);
+        if id == "B1" {
+            b1_lat = (base.latency_s, sym.latency_s);
+        }
+        println!(
+            "{:<5} {:>13.1} {:>11.1} {:>7.2}x   {}",
+            id,
+            base.cpu_kilo_seconds(),
+            sym.cpu_kilo_seconds(),
+            base.cpu_s / sym.cpu_s.max(1e-9),
+            bar(base.cpu_kilo_seconds(), 150.0, 25)
+        );
+    }
+    println!("{}", "-".repeat(92));
+    println!(
+        "\nB1 latency anecdote (paper: baseline 4.5 hours, SYMPLE 5 min 30 s — one group, \
+         one reducer):"
+    );
+    println!(
+        "  measured: baseline {:.1} h, SYMPLE {:.1} min",
+        b1_lat.0 / 3_600.0,
+        b1_lat.1 / 60.0
+    );
+    println!(
+        "\npaper shape: ≈2x CPU savings on github queries; large wins on B1/B2; \
+         B3 ≈ no improvement (grouped per user — §6.5)"
+    );
+}

@@ -1,0 +1,57 @@
+//! Regenerates **Figure 8**: shuffled data (MB, log Y axis) for the 8
+//! queries on the 380-node cluster (§6.4).
+//!
+//! `cargo run -p symple-bench --bin fig8 --release [--records N]`
+
+use symple_bench::{log_bar, measure, ratio_label, records_from_args, target_for};
+use symple_cluster::big::{big_cluster_run, BigClusterConfig};
+use symple_cluster::model::{ScaledJob, ShuffleLaw};
+use symple_mapreduce::JobConfig;
+use symple_queries::Backend;
+
+const QUERIES: [&str; 8] = ["G1", "G2", "G3", "G4", "B1", "B2", "B3", "T1"];
+
+fn main() {
+    let records = records_from_args();
+    let job = JobConfig::default();
+    let cluster = BigClusterConfig::default();
+    println!("Figure 8: shuffled data for 8 queries on a 380-node Hadoop cluster (MB; log scale)");
+    println!("measurement: {records} records/query, extrapolated to the paper's datasets");
+    println!("{}", "=".repeat(96));
+    println!(
+        "{:<5} {:>14} {:>12} {:>8}   log-scale bars (MR then SYMPLE)",
+        "query", "MapReduce MB", "SYMPLE MB", "ratio"
+    );
+    println!("{}", "-".repeat(96));
+
+    for id in QUERIES {
+        let target = target_for(id);
+        let (_, base_prof) = measure(id, records, Backend::SortedBaseline, &job).expect("baseline");
+        let (_, sym_prof) = measure(id, records, Backend::Symple, &job).expect("symple");
+        let base_job = ScaledJob::extrapolate(&base_prof, target.workload, ShuffleLaw::PerRecord);
+        let sym_job = ScaledJob::extrapolate(&sym_prof, target.workload, ShuffleLaw::PerEmission);
+        let base = big_cluster_run(&cluster, &base_job).shuffle_mb();
+        let sym = big_cluster_run(&cluster, &sym_job).shuffle_mb();
+        println!(
+            "{:<5} {:>14.1} {:>12.4} {:>8}   {}",
+            id,
+            base,
+            sym,
+            ratio_label(base, sym),
+            log_bar(base, 0.001, 1_000_000.0, 28)
+        );
+        println!(
+            "{:<5} {:>14} {:>12} {:>8}   {}",
+            "",
+            "",
+            "",
+            "",
+            log_bar(sym, 0.001, 1_000_000.0, 28)
+        );
+    }
+    println!("{}", "-".repeat(96));
+    println!(
+        "\npaper shape: B1/B2 extreme savings (one summary per mapper per group); \
+         B3/T1 least savings (massive group counts — mappers must still emit per group)"
+    );
+}

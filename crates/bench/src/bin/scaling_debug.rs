@@ -1,0 +1,39 @@
+//! Diagnostic: raw phase timings (map/reduce CPU and wall, shuffle bytes)
+//! for representative queries as the worker count varies. Useful when
+//! calibrating the cluster model on a new host; not part of the paper's
+//! figures.
+//!
+//! `cargo run -p symple-bench --bin scaling_debug --release [records]`
+
+use symple_bench::measurement_scale;
+use symple_mapreduce::JobConfig;
+use symple_queries::{runner_by_id, Backend};
+
+fn main() {
+    let records: usize = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(1_000_000);
+    for id in ["R3", "G1"] {
+        for backend in [Backend::Baseline, Backend::Symple] {
+            for workers in [1usize, 2, 4] {
+                let runner = runner_by_id(id).unwrap();
+                let mut scale = measurement_scale(id, records);
+                scale.segments = workers;
+                let job = JobConfig {
+                    map_workers: workers,
+                    reduce_workers: workers,
+                    num_reducers: workers,
+                    first_segment_concrete: false,
+                    ..JobConfig::default()
+                };
+                let r = runner.run(&scale, backend, &job).unwrap();
+                let m = r.metrics;
+                println!(
+                    "{id} {backend:?} workers={workers} map_wall={:?} map_cpu={:?} reduce_wall={:?} reduce_cpu={:?} groups={} shuffle={}B",
+                    m.map_wall, m.map_cpu, m.reduce_wall, m.reduce_cpu, m.groups, m.shuffle_bytes
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,65 @@
+//! Regenerates **Table 1**: the datasets and queries of the evaluation,
+//! with group counts and the symbolic types each query uses.
+//!
+//! Run with `cargo run -p symple-bench --bin table1 --release`. Add
+//! `--verify` (default) to also execute every query at small scale on both
+//! backends and check that they agree — the part of Table 1 the paper
+//! could only claim implicitly.
+
+use symple_mapreduce::JobConfig;
+use symple_queries::{all_queries, Backend, DataScale};
+
+fn main() {
+    let verify = !std::env::args().any(|a| a == "--no-verify");
+    println!("Table 1: datasets and queries (SYMPLE reproduction)");
+    println!("{}", "=".repeat(100));
+    println!(
+        "{:<4} {:<20} {:<8} {:>5} {:>4} {:>5}  Description",
+        "ID", "Dataset", "#Groups", "Enum", "Int", "Pred"
+    );
+    println!("{}", "-".repeat(100));
+    let mark = |b: bool| if b { "y" } else { "" };
+    for q in all_queries() {
+        let i = q.info();
+        println!(
+            "{:<4} {:<20} {:<8} {:>5} {:>4} {:>5}  {}",
+            i.id,
+            i.dataset,
+            i.groups,
+            mark(i.uses_enum),
+            mark(i.uses_int),
+            mark(i.uses_pred),
+            i.description
+        );
+    }
+    println!("{}", "-".repeat(100));
+
+    if verify {
+        println!("\nverifying baseline ≡ SYMPLE on every query (10k records)…");
+        let scale = DataScale {
+            records: 10_000,
+            groups: 100,
+            segments: 6,
+            seed: 11,
+            parse_lines: false,
+        };
+        let job = JobConfig::default();
+        let mut ok = true;
+        for q in all_queries() {
+            let id = q.info().id;
+            let base = q
+                .run(&scale, Backend::Baseline, &job)
+                .expect("baseline run");
+            let sym = q.run(&scale, Backend::Symple, &job).expect("symple run");
+            let agree = base.output_hash == sym.output_hash;
+            ok &= agree;
+            println!(
+                "  {id:<4} groups={:<6} baseline=SYMPLE: {}",
+                base.output_rows,
+                if agree { "OK" } else { "MISMATCH" }
+            );
+        }
+        assert!(ok, "backend outputs diverged");
+        println!("all 12 queries agree across backends");
+    }
+}

@@ -1,0 +1,39 @@
+#![warn(missing_docs)]
+
+//! # symple-cluster
+//!
+//! Cluster cost simulator for the paper's two distributed scenarios:
+//! Amazon Elastic MapReduce (§6.3, Figures 5–6) and the 380-node shared
+//! Hadoop cluster (§6.4, Figures 7–8).
+//!
+//! ## Substitution note (see DESIGN.md)
+//!
+//! The paper runs on real clusters we do not have. The simulator keeps the
+//! *work* real and models only the *iron*:
+//!
+//! 1. each query runs **for real**, in-process, on a scaled-down dataset
+//!    through the actual baseline/SYMPLE jobs (`symple-mapreduce`),
+//!    yielding measured per-record CPU costs and byte-accurate shuffle
+//!    sizes ([`profile::MeasuredProfile`]);
+//! 2. those rates are extrapolated to the paper's full dataset/cluster
+//!    configuration ([`targets`]) with a structural model for how SYMPLE's
+//!    shuffle scales (per *(mapper, group)* summary emission, not per
+//!    record — the reason B1 shuffles "one single record" per mapper);
+//! 3. phase latencies follow from configured hardware bandwidths
+//!    ([`emr::EmrConfig`], [`big::BigClusterConfig`]).
+//!
+//! The absolute numbers depend on our hardware; the *shape* — who wins,
+//! by what factor, and where the S3-bound crossover sits — is what the
+//! EXPERIMENTS.md comparison tracks.
+
+pub mod big;
+pub mod emr;
+pub mod model;
+pub mod profile;
+pub mod targets;
+
+pub use big::{BigClusterConfig, BigClusterReport};
+pub use emr::{EmrConfig, EmrLatency};
+pub use model::{ScaledJob, TargetWorkload};
+pub use profile::MeasuredProfile;
+pub use targets::{paper_target, PaperTarget};

@@ -1,0 +1,173 @@
+//! Extrapolation from measured rates to a full-size workload.
+
+use crate::profile::MeasuredProfile;
+
+/// Per-KV serialization envelope Hadoop adds to every shuffled record
+/// (IFile length prefixes, partition and checksum framing). Our substrate
+/// encodes compact varints; extrapolating to the paper's Hadoop clusters
+/// charges this envelope on top.
+pub const HADOOP_KV_ENVELOPE_BYTES: f64 = 16.0;
+
+/// The backend whose shuffle-scaling law applies.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ShuffleLaw {
+    /// Baseline: shuffle bytes grow linearly with input records (every
+    /// projected event crosses the network).
+    PerRecord,
+    /// SYMPLE: shuffle bytes grow with *(mapper, group)* summary
+    /// emissions, independent of chunk length (§6.4: B1 sends "one single
+    /// record" per mapper).
+    PerEmission,
+}
+
+/// A full-size workload to extrapolate to.
+#[derive(Debug, Clone, Copy)]
+pub struct TargetWorkload {
+    /// Total input records of the full dataset.
+    pub records: u64,
+    /// Total raw bytes of the full dataset.
+    pub input_bytes: u64,
+    /// True number of groups at full scale.
+    pub groups: u64,
+    /// Map tasks (input splits) at full scale.
+    pub mappers: u64,
+    /// Reduce tasks at full scale.
+    pub reducers: u64,
+}
+
+/// The extrapolated cost of one job at full scale.
+#[derive(Debug, Clone, Copy)]
+pub struct ScaledJob {
+    /// Total map-phase CPU seconds (our substrate's measured compute).
+    pub map_cpu_s: f64,
+    /// Total shuffle bytes.
+    pub shuffle_bytes: f64,
+    /// Total shuffle records (drives per-record framework overhead).
+    pub shuffle_records: f64,
+    /// Total reduce-phase CPU seconds (our substrate's measured compute).
+    pub reduce_cpu_s: f64,
+    /// The workload this was scaled to.
+    pub workload: TargetWorkload,
+}
+
+impl ScaledJob {
+    /// Extrapolates a measured profile to `workload` under the given
+    /// shuffle-scaling law.
+    pub fn extrapolate(
+        profile: &MeasuredProfile,
+        workload: TargetWorkload,
+        law: ShuffleLaw,
+    ) -> ScaledJob {
+        let records = workload.records as f64;
+        let map_cpu_s = profile.map_ns_per_record * records / 1e9;
+        let (payload_bytes, shuffle_records) = match law {
+            ShuffleLaw::PerRecord => (profile.shuffle_bytes_per_record * records, records),
+            ShuffleLaw::PerEmission => {
+                // Emissions grow with the measured rate at which mappers
+                // meet new groups, and are bounded by one per (mapper,
+                // group) pair and by one per record.
+                let emits = (records * profile.emits_per_record)
+                    .min(workload.mappers as f64 * workload.groups as f64)
+                    .min(records)
+                    .max(1.0);
+                (profile.bytes_per_emit * emits, emits)
+            }
+        };
+        let shuffle_bytes = payload_bytes + HADOOP_KV_ENVELOPE_BYTES * shuffle_records;
+        let reduce_cpu_s = profile.reduce_ns_per_shuffle_byte * payload_bytes / 1e9;
+        ScaledJob {
+            map_cpu_s,
+            shuffle_bytes,
+            shuffle_records,
+            reduce_cpu_s,
+            workload,
+        }
+    }
+
+    /// Total CPU seconds across phases.
+    pub fn total_cpu_s(&self) -> f64 {
+        self.map_cpu_s + self.reduce_cpu_s
+    }
+
+    /// Shuffle size in megabytes.
+    pub fn shuffle_mb(&self) -> f64 {
+        self.shuffle_bytes / 1.0e6
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn profile() -> MeasuredProfile {
+        MeasuredProfile {
+            map_ns_per_record: 1_000.0,
+            shuffle_bytes_per_record: 20.0,
+            bytes_per_emit: 100.0,
+            emits_per_record: 0.001,
+            reduce_ns_per_shuffle_byte: 50.0,
+            measured_records: 100_000,
+            measured_groups: 10,
+            measured_mappers: 8,
+        }
+    }
+
+    fn workload() -> TargetWorkload {
+        TargetWorkload {
+            records: 1_000_000_000,
+            input_bytes: 1_000_000_000_000,
+            groups: 10,
+            mappers: 400,
+            reducers: 50,
+        }
+    }
+
+    #[test]
+    fn per_record_law_scales_linearly() {
+        let j = ScaledJob::extrapolate(&profile(), workload(), ShuffleLaw::PerRecord);
+        assert!((j.map_cpu_s - 1_000.0).abs() < 1e-6);
+        // 20 B payload + 16 B Hadoop envelope per record.
+        assert!((j.shuffle_bytes - 3.6e10).abs() < 1.0);
+        assert!((j.shuffle_records - 1.0e9).abs() < 1.0);
+        assert!(
+            (j.reduce_cpu_s - 1_000.0).abs() < 1e-6,
+            "reduce CPU follows payload only"
+        );
+    }
+
+    #[test]
+    fn per_emission_law_caps_at_mapper_group_pairs() {
+        // With few groups the emission count saturates at mappers ×
+        // groups (400 × 10 = 4 000), whatever the record count.
+        let j = ScaledJob::extrapolate(&profile(), workload(), ShuffleLaw::PerEmission);
+        assert!((j.shuffle_records - 4_000.0).abs() < 1.0);
+        let mut bigger = workload();
+        bigger.records *= 100;
+        let j2 = ScaledJob::extrapolate(&profile(), bigger, ShuffleLaw::PerEmission);
+        assert!((j2.shuffle_records - j.shuffle_records).abs() < 1.0);
+    }
+
+    #[test]
+    fn per_emission_law_follows_measured_rate() {
+        // With abundant groups, emissions track the measured
+        // emits-per-record rate: 1e9 × 0.001 = 1e6.
+        let mut w = workload();
+        w.groups = u64::MAX / 1_000;
+        let j = ScaledJob::extrapolate(&profile(), w, ShuffleLaw::PerEmission);
+        assert!((j.shuffle_records - 1.0e6).abs() < 1.0);
+        // Payload plus envelope.
+        let expect = 1.0e6 * 100.0 + 1.0e6 * HADOOP_KV_ENVELOPE_BYTES;
+        assert!((j.shuffle_bytes - expect).abs() < 1.0);
+    }
+
+    #[test]
+    fn single_group_shuffle_is_one_emit_per_mapper() {
+        // The B1 regime.
+        let mut w = workload();
+        w.groups = 1;
+        let j = ScaledJob::extrapolate(&profile(), w, ShuffleLaw::PerEmission);
+        assert!((j.shuffle_records - 400.0).abs() < 1.0);
+        assert!(j.shuffle_mb() < 0.05);
+        assert!(j.total_cpu_s() > 0.0);
+    }
+}

@@ -1,0 +1,96 @@
+//! Measured per-unit work rates, derived from a real in-process run.
+
+use symple_mapreduce::JobMetrics;
+
+/// Work rates measured from one in-process job execution.
+///
+/// All rates are per-unit so they can be extrapolated to a larger dataset:
+/// CPU per input record, shuffle bytes per record (baseline regime) and
+/// per emission (SYMPLE regime), reduce CPU per shuffle byte.
+#[derive(Debug, Clone, Copy)]
+pub struct MeasuredProfile {
+    /// Map-phase CPU nanoseconds per input record (groupby + projection,
+    /// plus symbolic execution for SYMPLE jobs).
+    pub map_ns_per_record: f64,
+    /// Shuffle bytes per input record (how the *baseline* shuffle scales).
+    pub shuffle_bytes_per_record: f64,
+    /// Shuffle bytes per shuffle emission (how the *SYMPLE* shuffle
+    /// scales: one emission per (mapper, group) pair).
+    pub bytes_per_emit: f64,
+    /// Emissions per *input record* — the measured rate at which mappers
+    /// encounter not-yet-seen groups, which temporal locality in the data
+    /// keeps far below 1.
+    pub emits_per_record: f64,
+    /// Reduce-phase CPU nanoseconds per shuffle byte.
+    pub reduce_ns_per_shuffle_byte: f64,
+    /// Input records of the measurement run.
+    pub measured_records: u64,
+    /// Groups observed in the measurement run.
+    pub measured_groups: u64,
+    /// Mappers (segments) of the measurement run.
+    pub measured_mappers: u64,
+}
+
+impl MeasuredProfile {
+    /// Derives rates from a finished run's metrics.
+    pub fn from_metrics(m: &JobMetrics, mappers: u64) -> MeasuredProfile {
+        let recs = m.input_records.max(1) as f64;
+        let shuffle = m.shuffle_bytes.max(1) as f64;
+        let emits = m.shuffle_records.max(1) as f64;
+        MeasuredProfile {
+            map_ns_per_record: m.map_cpu.as_nanos() as f64 / recs,
+            shuffle_bytes_per_record: m.shuffle_bytes as f64 / recs,
+            bytes_per_emit: shuffle / emits,
+            emits_per_record: (emits / recs).min(1.0),
+            reduce_ns_per_shuffle_byte: m.reduce_cpu.as_nanos() as f64 / shuffle,
+            measured_records: m.input_records,
+            measured_groups: m.groups,
+            measured_mappers: mappers,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Duration;
+
+    fn metrics() -> JobMetrics {
+        JobMetrics {
+            input_records: 1_000,
+            input_bytes: 1_000_000,
+            map_cpu: Duration::from_millis(100),
+            reduce_cpu: Duration::from_millis(10),
+            shuffle_bytes: 50_000,
+            shuffle_records: 40,
+            groups: 10,
+            ..JobMetrics::default()
+        }
+    }
+
+    #[test]
+    fn rates_computed() {
+        let p = MeasuredProfile::from_metrics(&metrics(), 4);
+        assert!((p.map_ns_per_record - 100_000.0).abs() < 1.0);
+        assert!((p.shuffle_bytes_per_record - 50.0).abs() < 1e-9);
+        assert!((p.bytes_per_emit - 1250.0).abs() < 1e-9);
+        assert!((p.emits_per_record - 0.04).abs() < 1e-9);
+        assert!((p.reduce_ns_per_shuffle_byte - 200.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn zero_division_guarded() {
+        let p = MeasuredProfile::from_metrics(&JobMetrics::default(), 0);
+        assert!(p.map_ns_per_record.is_finite());
+        assert!(p.bytes_per_emit.is_finite());
+        assert!(p.reduce_ns_per_shuffle_byte.is_finite());
+    }
+
+    #[test]
+    fn emit_rate_capped_at_one() {
+        let mut m = metrics();
+        m.shuffle_records = 5_000; // more emits than records is clamped
+        let p = MeasuredProfile::from_metrics(&m, 4);
+        assert!((p.emits_per_record - 1.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,135 @@
+//! The paper's full-scale workload and cluster configurations, per query
+//! (§6.1, §6.3, §6.4).
+
+use crate::emr::EmrConfig;
+use crate::model::TargetWorkload;
+
+/// A query's full-scale target: dataset size, group regime, and cluster.
+#[derive(Debug, Clone, Copy)]
+pub struct PaperTarget {
+    /// Query id.
+    pub id: &'static str,
+    /// Full-scale workload.
+    pub workload: TargetWorkload,
+    /// EMR configuration used by the paper for this query (EMR venue).
+    pub emr: EmrConfig,
+}
+
+/// GitHub archive: 419 GB, ≈1 KB records, 12 M–22 M repositories,
+/// 405 map tasks on the big cluster.
+fn github(groups: u64) -> TargetWorkload {
+    TargetWorkload {
+        records: 419_000_000_000 / 1024,
+        input_bytes: 419_000_000_000,
+        groups,
+        mappers: 405,
+        reducers: 50,
+    }
+}
+
+/// Bing query logs: 300 GB, 1.9 B queries, 199 map tasks.
+fn bing(groups: u64) -> TargetWorkload {
+    TargetWorkload {
+        records: 1_900_000_000,
+        input_bytes: 300_000_000_000,
+        groups,
+        mappers: 199,
+        reducers: 50,
+    }
+}
+
+/// Twitter: 1.23 TB of tweets in 24 h, 501 map tasks.
+fn twitter(groups: u64) -> TargetWorkload {
+    TargetWorkload {
+        records: 500_000_000,
+        input_bytes: 1_230_000_000_000,
+        groups,
+        mappers: 501,
+        reducers: 50,
+    }
+}
+
+/// RedShift benchmark: 1.2 TB complete / 50 GB condensed, 10 K
+/// advertisers; map tasks from ≈1 GB splits.
+fn redshift(condensed: bool) -> TargetWorkload {
+    let input_bytes: u64 = if condensed {
+        50_000_000_000
+    } else {
+        1_200_000_000_000
+    };
+    TargetWorkload {
+        records: 1_200_000_000,
+        input_bytes,
+        groups: 10_000,
+        mappers: (input_bytes / 1_073_741_824).max(1),
+        reducers: if condensed { 5 } else { 10 },
+    }
+}
+
+/// The paper's full-scale target for a query id (including `R1c`–`R4c`).
+pub fn paper_target(id: &str) -> Option<PaperTarget> {
+    let (id, workload, emr) = match id {
+        "G1" => ("G1", github(12_000_000), EmrConfig::m3_xlarge(5)),
+        "G2" => ("G2", github(12_000_000), EmrConfig::m3_xlarge(5)),
+        "G3" => ("G3", github(12_000_000), EmrConfig::m3_xlarge(5)),
+        "G4" => ("G4", github(22_000_000), EmrConfig::m3_xlarge(5)),
+        "B1" => ("B1", bing(1), EmrConfig::m3_xlarge(5)),
+        "B2" => ("B2", bing(50), EmrConfig::m3_xlarge(5)),
+        "B3" => ("B3", bing(100_000_000), EmrConfig::m3_xlarge(5)),
+        "T1" => ("T1", twitter(10_000_000), EmrConfig::m3_xlarge(5)),
+        "R1" => ("R1", redshift(false), EmrConfig::m3_xlarge(10)),
+        "R2" => ("R2", redshift(false), EmrConfig::m3_xlarge(10)),
+        "R3" => ("R3", redshift(false), EmrConfig::m3_xlarge(10)),
+        "R4" => ("R4", redshift(false), EmrConfig::m3_xlarge(10)),
+        "R1c" => ("R1c", redshift(true), EmrConfig::m3_xlarge(5)),
+        "R2c" => ("R2c", redshift(true), EmrConfig::m3_xlarge(5)),
+        "R3c" => ("R3c", redshift(true), EmrConfig::m3_xlarge(5)),
+        "R4c" => ("R4c", redshift(true), EmrConfig::m3_xlarge(5)),
+        _ => return None,
+    };
+    Some(PaperTarget { id, workload, emr })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_paper_ids_have_targets() {
+        for id in [
+            "G1", "G2", "G3", "G4", "B1", "B2", "B3", "T1", "R1", "R2", "R3", "R4", "R1c", "R2c",
+            "R3c", "R4c",
+        ] {
+            let t = paper_target(id).unwrap_or_else(|| panic!("missing target {id}"));
+            assert_eq!(t.id, id);
+            assert!(t.workload.records > 0);
+            assert!(t.workload.mappers > 0);
+        }
+        assert!(paper_target("X1").is_none());
+    }
+
+    #[test]
+    fn group_regimes_match_table1() {
+        assert_eq!(paper_target("B1").unwrap().workload.groups, 1);
+        assert_eq!(paper_target("R1").unwrap().workload.groups, 10_000);
+        assert_eq!(paper_target("G4").unwrap().workload.groups, 22_000_000);
+    }
+
+    #[test]
+    fn condensed_redshift_is_smaller() {
+        let complete = paper_target("R1").unwrap().workload;
+        let condensed = paper_target("R1c").unwrap().workload;
+        assert!(condensed.input_bytes < complete.input_bytes / 20);
+        assert_eq!(condensed.records, complete.records);
+        // Paper: 10 instances for complete, 5 for condensed.
+        assert_eq!(paper_target("R1").unwrap().emr.instances, 10);
+        assert_eq!(paper_target("R1c").unwrap().emr.instances, 5);
+    }
+
+    #[test]
+    fn big_cluster_mapper_counts_match_paper() {
+        assert_eq!(paper_target("G1").unwrap().workload.mappers, 405);
+        assert_eq!(paper_target("B1").unwrap().workload.mappers, 199);
+        assert_eq!(paper_target("T1").unwrap().workload.mappers, 501);
+    }
+}

@@ -1,0 +1,353 @@
+//! Summary application and composition (§3.6 of the paper).
+//!
+//! The reducer recovers the sequential result by applying each chunk's
+//! summary, in input order, to the running concrete state:
+//! `Sₙ(...(S₃(S₂(C₁))))`. Because function composition is associative, two
+//! summaries can also be composed *symbolically* (`S₃ ∘ S₂`) before any
+//! concrete input is known — enabling tree-shaped reduction.
+//!
+//! Both operations reduce to one primitive, [`compose_state`]: rewriting a
+//! later path (a function of its input `y`) in terms of an earlier path's
+//! input `x`, per field, discarding infeasible cross-products.
+
+use crate::engine::merge::merge_paths;
+use crate::error::{Error, Result};
+use crate::state::SymState;
+use crate::summary::{Summary, SummaryChain};
+
+/// Composes one later path onto one earlier path.
+///
+/// Returns `Ok(None)` when the pair is infeasible (the earlier path's
+/// output cannot satisfy the later path's constraint). Scalar fields are
+/// composed before aggregates so that infeasibility is detected before any
+/// vector substitution can observe an inconsistent state.
+pub fn compose_state<S: SymState>(later: &S, earlier: &S) -> Result<Option<S>> {
+    let mut out = later.clone();
+    let prev_fields = earlier.fields_ref();
+    for pass_aggregates in [false, true] {
+        let mut out_fields = out.fields_mut();
+        debug_assert_eq!(out_fields.len(), prev_fields.len());
+        for (i, f) in out_fields.iter_mut().enumerate() {
+            if f.is_aggregate() != pass_aggregates {
+                continue;
+            }
+            if !f.compose_onto(prev_fields[i], &prev_fields)? {
+                return Ok(None);
+            }
+        }
+    }
+    Ok(Some(out))
+}
+
+/// Applies a summary to a concrete state: `S(c)`.
+///
+/// Exactly one path constraint must match — a validity property of sound
+/// and precise summaries that this function also verifies, returning
+/// [`Error::IncompleteSummary`] / [`Error::OverlappingSummary`] otherwise.
+pub fn apply_summary<S: SymState>(summary: &Summary<S>, state: &S) -> Result<S> {
+    debug_assert!(
+        crate::state::state_is_concrete(state),
+        "apply_summary requires a fully concrete input state"
+    );
+    let mut matched: Option<S> = None;
+    for path in summary.paths() {
+        if let Some(s) = compose_state(path, state)? {
+            if matched.is_some() {
+                return Err(Error::OverlappingSummary);
+            }
+            matched = Some(s);
+        }
+    }
+    matched.ok_or(Error::IncompleteSummary)
+}
+
+/// Applies every summary of a chain in order, starting from `state`.
+pub fn apply_chain<S: SymState>(chain: &SummaryChain<S>, state: &S) -> Result<S> {
+    let mut cur = state.clone();
+    for summary in chain.summaries() {
+        cur = apply_summary(summary, &cur)?;
+    }
+    Ok(cur)
+}
+
+/// Composes two summaries symbolically: the result of `compose_summaries
+/// (later, earlier)` behaves exactly like applying `earlier` then `later`.
+///
+/// Takes the cross-product of the paths, drops infeasible pairs, and merges
+/// paths with equal transfer functions (§3.6's example: `S₃ ∘ S₂`).
+pub fn compose_summaries<S: SymState>(
+    later: &Summary<S>,
+    earlier: &Summary<S>,
+) -> Result<Summary<S>> {
+    let mut out = Vec::new();
+    for pe in earlier.paths() {
+        for pl in later.paths() {
+            if let Some(c) = compose_state(pl, pe)? {
+                out.push(c);
+            }
+        }
+    }
+    if out.is_empty() {
+        return Err(Error::EmptyComposition);
+    }
+    merge_paths(&mut out);
+    Ok(Summary::new(out))
+}
+
+/// Concatenates two chains: `earlier`'s summaries apply first.
+pub fn compose_chain<S: SymState>(
+    later: &SummaryChain<S>,
+    earlier: &SummaryChain<S>,
+) -> SummaryChain<S> {
+    later.clone().after(earlier.clone())
+}
+
+/// Collapses a chain into a single summary by symbolic composition.
+///
+/// This is the expensive (cross-product) form; reducers that hold a
+/// concrete running state should prefer [`apply_chain`].
+pub fn collapse_chain<S: SymState>(chain: &SummaryChain<S>) -> Result<Summary<S>> {
+    let mut iter = chain.summaries().iter();
+    let first = iter.next().ok_or(Error::IncompleteSummary)?;
+    let mut acc = first.clone();
+    for s in iter {
+        acc = compose_summaries(s, &acc)?;
+    }
+    Ok(acc)
+}
+
+/// Collapses an ordered slice of summaries by balanced pairwise
+/// composition — §3.6's "one can further parallelize this computation as
+/// function composition is associative". In a distributed reducer each
+/// level of the tree would run in parallel; here the win is the shape
+/// (depth `log n` instead of `n`), which the composition bench measures.
+pub fn tree_collapse<S: SymState>(summaries: &[Summary<S>]) -> Result<Summary<S>> {
+    match summaries {
+        [] => Err(Error::IncompleteSummary),
+        [one] => Ok(one.clone()),
+        _ => {
+            let mid = summaries.len() / 2;
+            let left = tree_collapse(&summaries[..mid])?;
+            let right = tree_collapse(&summaries[mid..])?;
+            compose_summaries(&right, &left)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ctx::SymCtx;
+    use crate::impl_sym_state;
+    use crate::interval::Interval;
+    use crate::state::make_state_symbolic;
+    use crate::types::sym_int::SymInt;
+    use crate::types::sym_vector::SymVector;
+
+    #[derive(Clone, Debug)]
+    struct MaxS {
+        max: SymInt,
+    }
+    impl_sym_state!(MaxS { max });
+
+    /// Builds the Max summary of §3.5 for a chunk whose maximum is `m`:
+    /// `x ≤ m−1 ⇒ m  ∧  x ≥ m ⇒ x` (using the paper's `<` convention the
+    /// split lands at m).
+    fn max_summary(m: i64) -> Summary<MaxS> {
+        let mut lo = MaxS {
+            max: SymInt::new(0),
+        };
+        make_state_symbolic(&mut lo);
+        let mut ctx = SymCtx::symbolic();
+        assert!(
+            lo.max.lt(&mut ctx, m),
+            "first exploration takes the true side"
+        );
+        lo.max.assign(m);
+        let mut hi = MaxS {
+            max: SymInt::new(0),
+        };
+        make_state_symbolic(&mut hi);
+        let mut ctx = SymCtx::symbolic();
+        assert!(hi.max.ge(&mut ctx, m));
+        Summary::new(vec![lo, hi])
+    }
+
+    #[test]
+    fn apply_matches_paper_example() {
+        // §3.6: chunk 2 (max 10) applied to the concrete output 9 of chunk
+        // 1 yields 10; chunk 3 (max 8) applied to 10 keeps 10.
+        let s2 = max_summary(10);
+        let s3 = max_summary(8);
+        let c1 = MaxS {
+            max: SymInt::new(9),
+        };
+        let after2 = apply_summary(&s2, &c1).unwrap();
+        assert_eq!(after2.max.concrete_value(), Some(10));
+        let after3 = apply_summary(&s3, &after2).unwrap();
+        assert_eq!(after3.max.concrete_value(), Some(10));
+    }
+
+    #[test]
+    fn compose_matches_paper_example() {
+        // §3.6: S₃ ∘ S₂ = { y ≤ 9 ⇒ 10, y ≥ 10 ⇒ y } for maxima 10, 8.
+        let s2 = max_summary(10);
+        let s3 = max_summary(8);
+        let s32 = compose_summaries(&s3, &s2).unwrap();
+        assert_eq!(
+            s32.len(),
+            2,
+            "infeasible pairs pruned, equal transfers merged"
+        );
+        // Composed-then-applied equals applied-sequentially.
+        for v in [-5, 7, 9, 10, 11, 100] {
+            let c = MaxS {
+                max: SymInt::new(v),
+            };
+            let seq = apply_summary(&s3, &apply_summary(&s2, &c).unwrap()).unwrap();
+            let comp = apply_summary(&s32, &c).unwrap();
+            assert_eq!(seq.max.concrete_value(), comp.max.concrete_value(), "v={v}");
+        }
+    }
+
+    #[test]
+    fn composition_is_associative() {
+        let s2 = max_summary(10);
+        let s3 = max_summary(8);
+        let s4 = max_summary(12);
+        let left = compose_summaries(&s4, &compose_summaries(&s3, &s2).unwrap()).unwrap();
+        let right = compose_summaries(&compose_summaries(&s4, &s3).unwrap(), &s2).unwrap();
+        for v in [-1, 9, 10, 11, 12, 13, 50] {
+            let c = MaxS {
+                max: SymInt::new(v),
+            };
+            let a = apply_summary(&left, &c).unwrap().max.concrete_value();
+            let b = apply_summary(&right, &c).unwrap().max.concrete_value();
+            assert_eq!(a, b, "v={v}");
+        }
+    }
+
+    #[test]
+    fn incomplete_summary_detected() {
+        // A summary missing the x ≥ 10 path cannot cover input 42.
+        let s2 = max_summary(10);
+        let partial = Summary::new(vec![s2.paths()[0].clone()]);
+        let c = MaxS {
+            max: SymInt::new(42),
+        };
+        assert!(matches!(
+            apply_summary(&partial, &c),
+            Err(Error::IncompleteSummary)
+        ));
+    }
+
+    #[test]
+    fn overlapping_summary_detected() {
+        let s2 = max_summary(10);
+        let dup = Summary::new(vec![s2.paths()[0].clone(), s2.paths()[0].clone()]);
+        let c = MaxS {
+            max: SymInt::new(3),
+        };
+        assert!(matches!(
+            apply_summary(&dup, &c),
+            Err(Error::OverlappingSummary)
+        ));
+    }
+
+    #[derive(Clone, Debug)]
+    struct CountS {
+        count: SymInt,
+        out: SymVector<i64>,
+    }
+    impl_sym_state!(CountS { count, out });
+
+    #[test]
+    fn vectors_stitch_across_composition() {
+        // Earlier chunk: count += 2, pushed count (x+2).
+        let mut e = CountS {
+            count: SymInt::new(0),
+            out: SymVector::new(),
+        };
+        make_state_symbolic(&mut e);
+        e.count += 2;
+        e.out.push_int(&e.count);
+        // Later chunk: count += 3, pushed count (y+3).
+        let mut l = CountS {
+            count: SymInt::new(0),
+            out: SymVector::new(),
+        };
+        make_state_symbolic(&mut l);
+        l.count += 3;
+        l.out.push_int(&l.count);
+
+        let se = Summary::singleton(e);
+        let sl = Summary::singleton(l);
+        let s = compose_summaries(&sl, &se).unwrap();
+        let init = CountS {
+            count: SymInt::new(10),
+            out: SymVector::new(),
+        };
+        let fin = apply_summary(&s, &init).unwrap();
+        assert_eq!(fin.count.concrete_value(), Some(15));
+        assert_eq!(fin.out.concrete_elems().unwrap(), vec![12, 15]);
+    }
+
+    #[test]
+    fn apply_chain_runs_in_order() {
+        let chain = SummaryChain::new(vec![max_summary(10), max_summary(8), max_summary(20)]);
+        let c = MaxS {
+            max: SymInt::new(9),
+        };
+        let fin = apply_chain(&chain, &c).unwrap();
+        assert_eq!(fin.max.concrete_value(), Some(20));
+    }
+
+    #[test]
+    fn collapse_chain_equals_apply_chain() {
+        let chain = SummaryChain::new(vec![max_summary(10), max_summary(8), max_summary(20)]);
+        let collapsed = collapse_chain(&chain).unwrap();
+        for v in [0, 9, 15, 25] {
+            let c = MaxS {
+                max: SymInt::new(v),
+            };
+            let a = apply_chain(&chain, &c).unwrap().max.concrete_value();
+            let b = apply_summary(&collapsed, &c).unwrap().max.concrete_value();
+            assert_eq!(a, b, "v={v}");
+        }
+    }
+
+    #[test]
+    fn tree_collapse_equals_sequential_collapse() {
+        let summaries: Vec<Summary<MaxS>> = [3, 10, 8, 20, 15, 1, 19]
+            .iter()
+            .map(|m| max_summary(*m))
+            .collect();
+        let tree = tree_collapse(&summaries).unwrap();
+        let chain = SummaryChain::new(summaries.clone());
+        for v in [-5, 9, 10, 19, 20, 21, 100] {
+            let c = MaxS {
+                max: SymInt::new(v),
+            };
+            let a = apply_summary(&tree, &c).unwrap().max.concrete_value();
+            let b = apply_chain(&chain, &c).unwrap().max.concrete_value();
+            assert_eq!(a, b, "v={v}");
+        }
+        assert!(tree_collapse::<MaxS>(&[]).is_err());
+    }
+
+    #[test]
+    fn compose_constraint_intervals_pull_back() {
+        let s2 = max_summary(10);
+        let s3 = max_summary(8);
+        let s32 = compose_summaries(&s3, &s2).unwrap();
+        // Find the constant path; it should cover x ≤ 9 after pullback and
+        // merging with the (5 ≤ x ≤ 10 ⇒ 10)-style region.
+        let consts: Vec<_> = s32
+            .paths()
+            .iter()
+            .filter(|p| p.max.concrete_value() == Some(10))
+            .collect();
+        assert_eq!(consts.len(), 1);
+        assert_eq!(consts[0].max.constraint(), Interval::new(i64::MIN, 9));
+    }
+}

@@ -1,0 +1,446 @@
+//! The symbolic executor: systematic path exploration with explosion
+//! control (§5.1–5.2 of the paper).
+
+use crate::ctx::SymCtx;
+use crate::engine::merge::merge_paths;
+use crate::error::{Error, Result};
+use crate::state::make_state_symbolic;
+use crate::summary::{Summary, SummaryChain};
+use crate::uda::Uda;
+
+/// When path merging is attempted (§5.2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MergePolicy {
+    /// Merge after every input record. Produces the most compact
+    /// summaries at some CPU cost.
+    Eager,
+    /// The paper's heuristic: merge only when the number of live paths
+    /// exceeds the previously reached maximum.
+    HighWater,
+    /// Never merge (ablation baseline; relies entirely on the restart
+    /// fallback to bound paths).
+    Never,
+}
+
+/// Engine tuning knobs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EngineConfig {
+    /// Bound on paths produced while processing a *single* record; exceeded
+    /// means the UDA likely loops on symbolic state (§5.2) →
+    /// [`Error::PathExplosion`].
+    pub max_paths_per_record: usize,
+    /// Bound on live paths across records (paper default 8). Exceeding it
+    /// flushes the current summary and restarts from fresh symbolic state,
+    /// trading parallelism for sequential efficiency (§5.2).
+    pub max_total_paths: usize,
+    /// When to attempt path merging.
+    pub merge_policy: MergePolicy,
+}
+
+impl Default for EngineConfig {
+    fn default() -> EngineConfig {
+        EngineConfig {
+            max_paths_per_record: 64,
+            max_total_paths: 8,
+            merge_policy: MergePolicy::HighWater,
+        }
+    }
+}
+
+/// Counters describing one chunk's exploration.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ExploreStats {
+    /// Input records processed.
+    pub records: u64,
+    /// Update-function runs (≥ records; each run explores one path).
+    pub runs: u64,
+    /// Branch forks taken.
+    pub forks: u64,
+    /// Successful path merges.
+    pub merges: u64,
+    /// Summary flush/restarts triggered by the total-path bound.
+    pub restarts: u64,
+    /// Peak number of live paths.
+    pub max_live_paths: usize,
+}
+
+/// Symbolically executes a UDA over one chunk, producing a
+/// [`SummaryChain`].
+///
+/// # Examples
+///
+/// ```
+/// use symple_core::prelude::*;
+///
+/// # struct MaxUda;
+/// # #[derive(Clone, Debug)]
+/// # struct MaxState { max: SymInt }
+/// # impl_sym_state!(MaxState { max });
+/// # impl Uda for MaxUda {
+/// #     type State = MaxState;
+/// #     type Event = i64;
+/// #     type Output = i64;
+/// #     fn init(&self) -> MaxState { MaxState { max: SymInt::new(i64::MIN) } }
+/// #     fn update(&self, s: &mut MaxState, ctx: &mut SymCtx, e: &i64) {
+/// #         if s.max.lt(ctx, *e) { s.max.assign(*e); }
+/// #     }
+/// #     fn result(&self, s: &MaxState, _ctx: &mut SymCtx) -> i64 {
+/// #         s.max.concrete_value().unwrap()
+/// #     }
+/// # }
+/// let uda = MaxUda;
+/// let mut exec = SymbolicExecutor::new(&uda, EngineConfig::default());
+/// for e in [5, 3, 10] {
+///     exec.feed(&e).unwrap();
+/// }
+/// let (chain, stats) = exec.finish();
+/// assert_eq!(chain.total_paths(), 2); // x ≤ 9 ⇒ 10  ∧  x ≥ 10 ⇒ x
+/// assert!(stats.forks >= 2);
+/// ```
+pub struct SymbolicExecutor<'a, U: Uda> {
+    uda: &'a U,
+    cfg: EngineConfig,
+    paths: Vec<U::State>,
+    emitted: Vec<Summary<U::State>>,
+    high_water: usize,
+    stats: ExploreStats,
+    /// Recycled buffer for the per-record exploration output, so the hot
+    /// loop allocates nothing in the steady state.
+    scratch: Vec<U::State>,
+}
+
+impl<'a, U: Uda> SymbolicExecutor<'a, U> {
+    /// Creates an executor starting from the unknown symbolic state `x`.
+    pub fn new(uda: &'a U, cfg: EngineConfig) -> SymbolicExecutor<'a, U> {
+        let mut fresh = uda.init();
+        make_state_symbolic(&mut fresh);
+        SymbolicExecutor {
+            uda,
+            cfg,
+            paths: vec![fresh],
+            emitted: Vec::new(),
+            high_water: 1,
+            stats: ExploreStats {
+                max_live_paths: 1,
+                ..ExploreStats::default()
+            },
+            scratch: Vec::new(),
+        }
+    }
+
+    /// Processes one input record: every live path is re-executed under
+    /// every feasible choice vector.
+    pub fn feed(&mut self, e: &U::Event) -> Result<()> {
+        self.stats.records += 1;
+        let mut out: Vec<U::State> = std::mem::take(&mut self.scratch);
+        out.clear();
+        for path in &self.paths {
+            let mut ctx = SymCtx::symbolic();
+            loop {
+                let mut s = path.clone();
+                ctx.begin_run();
+                self.uda.update(&mut s, &mut ctx, e);
+                if let Some(err) = ctx.take_error() {
+                    return Err(err);
+                }
+                out.push(s);
+                self.stats.runs += 1;
+                if out.len() > self.cfg.max_paths_per_record {
+                    return Err(Error::PathExplosion {
+                        paths: out.len(),
+                        bound: self.cfg.max_paths_per_record,
+                    });
+                }
+                if !ctx.advance() {
+                    break;
+                }
+            }
+            self.stats.forks += ctx.forks_taken();
+        }
+
+        let do_merge = match self.cfg.merge_policy {
+            MergePolicy::Eager => out.len() > 1,
+            MergePolicy::HighWater => out.len() > self.high_water,
+            MergePolicy::Never => false,
+        };
+        if do_merge {
+            self.stats.merges += merge_paths(&mut out);
+        }
+        if self.cfg.merge_policy == MergePolicy::HighWater {
+            self.high_water = self.high_water.max(out.len());
+        }
+        self.stats.max_live_paths = self.stats.max_live_paths.max(out.len());
+        self.scratch = std::mem::replace(&mut self.paths, out);
+
+        if self.paths.len() > self.cfg.max_total_paths {
+            self.flush_restart();
+        }
+        Ok(())
+    }
+
+    /// Processes a sequence of records.
+    pub fn feed_all<'e>(&mut self, events: impl IntoIterator<Item = &'e U::Event>) -> Result<()>
+    where
+        U::Event: 'e,
+    {
+        for e in events {
+            self.feed(e)?;
+        }
+        Ok(())
+    }
+
+    /// The currently live paths (diagnostics; e.g. the Figure 3 demo
+    /// prints them after every record).
+    pub fn live_paths(&self) -> &[U::State] {
+        &self.paths
+    }
+
+    /// Exploration statistics so far.
+    pub fn stats(&self) -> ExploreStats {
+        self.stats
+    }
+
+    /// Flushes the live paths as a finished summary and restarts from
+    /// fresh symbolic state (§5.2's fallback: the mapper emits multiple
+    /// summaries that the reducer applies in order).
+    fn flush_restart(&mut self) {
+        let done = Summary::new(std::mem::take(&mut self.paths));
+        debug_assert!(
+            done.paths_pairwise_disjoint(),
+            "engine emitted overlapping path constraints"
+        );
+        self.emitted.push(done);
+        let mut fresh = self.uda.init();
+        make_state_symbolic(&mut fresh);
+        self.paths = vec![fresh];
+        self.high_water = 1;
+        self.stats.restarts += 1;
+    }
+
+    /// Completes the chunk, returning the summary chain and statistics.
+    pub fn finish(mut self) -> (SummaryChain<U::State>, ExploreStats) {
+        let last = Summary::new(std::mem::take(&mut self.paths));
+        debug_assert!(
+            last.paths_pairwise_disjoint(),
+            "engine emitted overlapping path constraints"
+        );
+        self.emitted.push(last);
+        (SummaryChain::new(self.emitted), self.stats)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::compose::{apply_chain, apply_summary};
+    use crate::impl_sym_state;
+    use crate::interval::Interval;
+    use crate::types::sym_int::SymInt;
+
+    struct MaxUda;
+
+    #[derive(Clone, Debug)]
+    struct MaxState {
+        max: SymInt,
+    }
+    impl_sym_state!(MaxState { max });
+
+    impl Uda for MaxUda {
+        type State = MaxState;
+        type Event = i64;
+        type Output = i64;
+        fn init(&self) -> MaxState {
+            MaxState {
+                max: SymInt::new(i64::MIN),
+            }
+        }
+        fn update(&self, s: &mut MaxState, ctx: &mut SymCtx, e: &i64) {
+            if s.max.lt(ctx, *e) {
+                s.max.assign(*e);
+            }
+        }
+        fn result(&self, s: &MaxState, _ctx: &mut SymCtx) -> i64 {
+            s.max.concrete_value().expect("final state concrete")
+        }
+    }
+
+    #[test]
+    fn figure3_summary_shape() {
+        // §3.1–3.5 running example: input [5, 3, 10].
+        let uda = MaxUda;
+        let mut exec = SymbolicExecutor::new(&uda, EngineConfig::default());
+        exec.feed_all([5, 3, 10].iter()).unwrap();
+        let (chain, stats) = exec.finish();
+        assert_eq!(chain.len(), 1);
+        let summary = &chain.summaries()[0];
+        assert_eq!(summary.len(), 2);
+        // x ≤ 9 ⇒ max = 10  (the paper writes x < 10).
+        let consts: Vec<_> = summary
+            .paths()
+            .iter()
+            .filter(|p| p.max.concrete_value() == Some(10))
+            .collect();
+        assert_eq!(consts.len(), 1);
+        assert_eq!(consts[0].max.constraint(), Interval::new(i64::MIN, 9));
+        // x ≥ 10 ⇒ max = x.
+        let ids: Vec<_> = summary
+            .paths()
+            .iter()
+            .filter(|p| p.max.coeffs() == (1, 0))
+            .collect();
+        assert_eq!(ids.len(), 1);
+        assert_eq!(ids[0].max.constraint(), Interval::new(10, i64::MAX));
+        assert!(stats.merges >= 1, "the two ⇒10 paths must have merged");
+        assert_eq!(stats.records, 3);
+    }
+
+    #[test]
+    fn merge_policies_agree_on_semantics() {
+        let uda = MaxUda;
+        let input = [5i64, 3, 10, 8, 2, 1, 42, 7];
+        for policy in [
+            MergePolicy::Eager,
+            MergePolicy::HighWater,
+            MergePolicy::Never,
+        ] {
+            let cfg = EngineConfig {
+                merge_policy: policy,
+                ..EngineConfig::default()
+            };
+            let mut exec = SymbolicExecutor::new(&uda, cfg);
+            exec.feed_all(input.iter()).unwrap();
+            let (chain, _) = exec.finish();
+            for v in [-100, 0, 9, 10, 41, 42, 43] {
+                let init = MaxState {
+                    max: SymInt::new(v),
+                };
+                let fin = apply_chain(&chain, &init).unwrap();
+                assert_eq!(
+                    fin.max.concrete_value(),
+                    Some(v.max(42)),
+                    "policy {policy:?} v={v}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn restart_fallback_produces_multiple_summaries() {
+        // Force restarts with a tiny total-path bound and no merging.
+        let uda = MaxUda;
+        let cfg = EngineConfig {
+            max_total_paths: 1,
+            merge_policy: MergePolicy::Never,
+            ..EngineConfig::default()
+        };
+        let mut exec = SymbolicExecutor::new(&uda, cfg);
+        exec.feed_all([5, 3, 10].iter()).unwrap();
+        let (chain, stats) = exec.finish();
+        assert!(stats.restarts >= 1);
+        assert!(chain.len() >= 2);
+        // Semantics must be unaffected.
+        let init = MaxState {
+            max: SymInt::new(7),
+        };
+        let fin = apply_chain(&chain, &init).unwrap();
+        assert_eq!(fin.max.concrete_value(), Some(10));
+    }
+
+    struct LoopyUda;
+
+    #[derive(Clone, Debug)]
+    struct LoopyState {
+        v: SymInt,
+    }
+    impl_sym_state!(LoopyState { v });
+
+    impl Uda for LoopyUda {
+        type State = LoopyState;
+        type Event = i64;
+        type Output = i64;
+        fn init(&self) -> LoopyState {
+            LoopyState { v: SymInt::new(0) }
+        }
+        fn update(&self, s: &mut LoopyState, ctx: &mut SymCtx, _e: &i64) {
+            // A bounded but exploding pattern: every record forks without
+            // ever binding, and transfers differ so nothing merges.
+            if s.v.lt(ctx, 0) {
+                s.v += 1;
+            } else {
+                s.v += 2;
+            }
+        }
+        fn result(&self, s: &LoopyState, _ctx: &mut SymCtx) -> i64 {
+            s.v.concrete_value().unwrap_or(0)
+        }
+    }
+
+    #[test]
+    fn per_record_explosion_detected() {
+        let uda = LoopyUda;
+        let cfg = EngineConfig {
+            max_paths_per_record: 4,
+            max_total_paths: 1_000,
+            merge_policy: MergePolicy::Never,
+        };
+        let mut exec = SymbolicExecutor::new(&uda, cfg);
+        // Each record multiplies live paths; per-record bound trips.
+        let mut tripped = false;
+        for e in 0..10 {
+            if let Err(Error::PathExplosion { .. }) = exec.feed(&e) {
+                tripped = true;
+                break;
+            }
+        }
+        assert!(tripped);
+    }
+
+    #[test]
+    fn restart_bounds_live_paths() {
+        let uda = LoopyUda;
+        let cfg = EngineConfig {
+            max_paths_per_record: 1_000,
+            max_total_paths: 8,
+            merge_policy: MergePolicy::Never,
+        };
+        let mut exec = SymbolicExecutor::new(&uda, cfg);
+        for e in 0..10 {
+            exec.feed(&e).unwrap();
+        }
+        assert!(
+            exec.live_paths().len() <= 16,
+            "restart keeps live paths bounded"
+        );
+        let (chain, stats) = exec.finish();
+        assert!(stats.restarts > 0);
+        // Correctness through restarts: equals sequential execution.
+        let init = LoopyState {
+            v: SymInt::new(-100),
+        };
+        let fin = apply_chain(&chain, &init).unwrap();
+        let mut expect = -100i64;
+        for _ in 0..10 {
+            expect += if expect < 0 { 1 } else { 2 };
+        }
+        assert_eq!(fin.max_value(), expect);
+    }
+
+    impl LoopyState {
+        fn max_value(&self) -> i64 {
+            self.v.concrete_value().unwrap()
+        }
+    }
+
+    #[test]
+    fn first_summary_applies_to_concrete_init() {
+        // A symbolic chunk applied to the UDA's concrete initial state must
+        // match running that chunk concretely.
+        let uda = MaxUda;
+        let mut exec = SymbolicExecutor::new(&uda, EngineConfig::default());
+        exec.feed_all([2, 9, 1].iter()).unwrap();
+        let (chain, _) = exec.finish();
+        assert_eq!(chain.len(), 1);
+        let fin = apply_summary(&chain.summaries()[0], &uda.init()).unwrap();
+        assert_eq!(fin.max.concrete_value(), Some(9));
+    }
+}

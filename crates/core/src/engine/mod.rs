@@ -1,0 +1,13 @@
+//! The symbolic exploration engine (§5.1–5.2 of the paper).
+//!
+//! [`SymbolicExecutor`] drives a UDA over one chunk of input starting from
+//! an unknown symbolic state: it re-runs the update function per (path ×
+//! choice vector), prunes infeasible branches via the data types' decision
+//! procedures, merges paths with equal transfer functions, and bounds path
+//! explosion by flushing partial summaries and restarting (the graceful
+//! fallback to sequential composition).
+
+pub mod executor;
+pub mod merge;
+
+pub use executor::{EngineConfig, ExploreStats, MergePolicy, SymbolicExecutor};

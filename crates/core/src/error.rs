@@ -1,0 +1,154 @@
+//! Error types shared across the SYMPLE core.
+
+use std::fmt;
+
+/// Result alias used throughout `symple-core`.
+pub type Result<T, E = Error> = std::result::Result<T, E>;
+
+/// Errors raised by symbolic execution, summary composition, and the wire
+/// format.
+///
+/// The engine is *sound and precise* (§2.3 of the paper): it never
+/// approximates. Situations it cannot handle exactly are reported as errors
+/// so callers can fall back to sequential execution.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Error {
+    /// The number of feasible paths explored for a *single* input record
+    /// exceeded [`crate::EngineConfig::max_paths_per_record`].
+    ///
+    /// Per §5.2 this usually means the UDA contains a loop whose trip count
+    /// depends on the aggregation state, which symbolic execution cannot
+    /// bound.
+    PathExplosion {
+        /// Paths explored when the bound was hit.
+        paths: usize,
+        /// The configured bound.
+        bound: usize,
+    },
+    /// Integer overflow in a symbolic arithmetic operation.
+    ///
+    /// `SymInt` tracks values as `a·x + b`; if updating `a` or `b` overflows
+    /// `i64`, the execution is aborted rather than silently wrapping (the
+    /// sequential semantics would have trapped or wrapped at a *different*
+    /// point, so no sound summary exists).
+    ArithmeticOverflow {
+        /// Operation that overflowed, e.g. `"add"`.
+        op: &'static str,
+    },
+    /// A branch on a symbolic value was taken while executing in concrete
+    /// mode (sequential reference execution or `Result` extraction).
+    ///
+    /// This indicates state that was still symbolic where the engine
+    /// requires concrete values — an engine-usage bug.
+    NonConcreteBranch,
+    /// A black-box predicate ([`crate::SymPred`]) accumulated more unbound
+    /// decisions than its configured window bound.
+    PredicateWindowExceeded {
+        /// Decisions accumulated.
+        decisions: usize,
+        /// The configured window bound.
+        bound: usize,
+    },
+    /// Applying a summary to a concrete state found no matching path.
+    ///
+    /// A valid summary is exhaustive (`⋁ᵢ PCᵢ = true`), so this indicates a
+    /// corrupted or mismatched summary.
+    IncompleteSummary,
+    /// Applying a summary to a concrete state matched more than one path.
+    ///
+    /// A valid summary has pairwise-disjoint path constraints, so this
+    /// indicates a corrupted or mismatched summary.
+    OverlappingSummary,
+    /// An enum value outside the declared domain was used with a
+    /// [`crate::SymEnum`].
+    EnumOutOfDomain {
+        /// The offending value.
+        value: i64,
+        /// Number of values in the domain (valid values are `0..domain`).
+        domain: u32,
+    },
+    /// Composition produced an empty summary (no feasible cross-product
+    /// path), meaning the two summaries disagree about reachable states.
+    EmptyComposition,
+    /// A wire-format decoding failure.
+    Wire(crate::wire::WireError),
+    /// The UDA signalled a domain-specific failure.
+    Uda(String),
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::PathExplosion { paths, bound } => write!(
+                f,
+                "path explosion: {paths} feasible paths for one record exceeds bound {bound} \
+                 (does the UDA contain a loop that depends on the aggregation state?)"
+            ),
+            Error::ArithmeticOverflow { op } => {
+                write!(f, "symbolic integer overflow in `{op}`")
+            }
+            Error::NonConcreteBranch => {
+                write!(f, "branch on symbolic value during concrete-mode execution")
+            }
+            Error::PredicateWindowExceeded { decisions, bound } => write!(
+                f,
+                "black-box predicate recorded {decisions} unbound decisions, bound is {bound}"
+            ),
+            Error::IncompleteSummary => {
+                write!(
+                    f,
+                    "summary is not exhaustive: no path matches the input state"
+                )
+            }
+            Error::OverlappingSummary => {
+                write!(
+                    f,
+                    "summary paths are not disjoint: multiple paths match the input state"
+                )
+            }
+            Error::EnumOutOfDomain { value, domain } => {
+                write!(f, "enum value {value} outside domain 0..{domain}")
+            }
+            Error::EmptyComposition => write!(f, "summary composition yielded no feasible path"),
+            Error::Wire(e) => write!(f, "wire format error: {e}"),
+            Error::Uda(msg) => write!(f, "UDA error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for Error {}
+
+impl From<crate::wire::WireError> for Error {
+    fn from(e: crate::wire::WireError) -> Self {
+        Error::Wire(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = Error::PathExplosion {
+            paths: 100,
+            bound: 64,
+        };
+        let s = e.to_string();
+        assert!(s.contains("100"));
+        assert!(s.contains("64"));
+
+        let e = Error::EnumOutOfDomain {
+            value: 9,
+            domain: 4,
+        };
+        assert!(e.to_string().contains("0..4"));
+    }
+
+    #[test]
+    fn wire_error_converts() {
+        let w = crate::wire::WireError::UnexpectedEof;
+        let e: Error = w.into();
+        assert!(matches!(e, Error::Wire(_)));
+    }
+}

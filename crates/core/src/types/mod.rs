@@ -1,0 +1,17 @@
+//! The symbolic data types of §4: enumerations, booleans, integers,
+//! black-box predicates, and append-only vectors.
+//!
+//! Each type maintains its path constraint in a canonical form that makes
+//! branch-feasibility decidable in (small) constant time, supports merging
+//! (§3.5), and serializes compactly (§2.3). The types deliberately restrict
+//! the allowed operations — e.g. two `SymInt`s cannot be compared — so that
+//! every constraint mentions a single symbolic variable and never requires
+//! a general-purpose solver (§4.3).
+
+pub mod scalar;
+pub mod sym_bool;
+pub mod sym_enum;
+pub mod sym_int;
+pub mod sym_minmax;
+pub mod sym_pred;
+pub mod sym_vector;

@@ -1,0 +1,667 @@
+//! Append-only symbolic vectors (§4.5 of the paper).
+//!
+//! Inspired by Cilk reducer hyperobjects, a [`SymVector`] captures the
+//! *output* of a UDA: each chunk appends to a local vector, and summary
+//! composition stitches the locals together in input order. Elements may be
+//! symbolic — e.g. a count `x + 5` appended before the chunk's input
+//! dependence resolved — and are concretized during composition once the
+//! referenced field's value becomes known.
+//!
+//! The append-only restriction is essential: the UDA can never *read* the
+//! vector, so the unknown prefix produced by earlier chunks cannot affect
+//! control flow and needs no constraint.
+//!
+//! Internally the vector is a **persistent list**: path exploration clones
+//! the whole aggregation state once per explored run, and a `Vec` payload
+//! would make that clone — and therefore the whole engine — quadratic in
+//! the output size. Structural sharing makes clones `O(1)` and lets
+//! sibling paths share their common prefix, which also makes the
+//! merge-time equality check `O(divergence)` instead of `O(length)`.
+
+use std::sync::Arc;
+
+use crate::error::{Error, Result};
+use crate::state::{downcast, FieldId, SymField};
+use crate::types::scalar::{ScalarTransfer, SymScalar};
+use crate::types::sym_enum::SymEnum;
+use crate::types::sym_int::SymInt;
+use crate::types::sym_pred::{PredValue, SymPred};
+use crate::wire::{self, Wire, WireError};
+
+/// Element types storable in a [`SymVector`].
+///
+/// `from_i64` converts a concretized symbolic scalar back into the element
+/// type; types that cannot hold symbolic elements return `None` (and must
+/// only ever be appended concretely).
+pub trait VecElem: Clone + PartialEq + std::fmt::Debug + Send + Sync + Wire + 'static {
+    /// Converts a concretized symbolic scalar into the element type.
+    fn from_i64(v: i64) -> Option<Self>;
+}
+
+impl VecElem for i64 {
+    fn from_i64(v: i64) -> Option<Self> {
+        Some(v)
+    }
+}
+impl VecElem for u64 {
+    fn from_i64(v: i64) -> Option<Self> {
+        u64::try_from(v).ok()
+    }
+}
+impl VecElem for u32 {
+    fn from_i64(v: i64) -> Option<Self> {
+        u32::try_from(v).ok()
+    }
+}
+impl VecElem for i32 {
+    fn from_i64(v: i64) -> Option<Self> {
+        i32::try_from(v).ok()
+    }
+}
+impl VecElem for String {
+    fn from_i64(_v: i64) -> Option<Self> {
+        None
+    }
+}
+impl VecElem for (i64, i64) {
+    fn from_i64(_v: i64) -> Option<Self> {
+        None
+    }
+}
+
+/// One element of a [`SymVector`]: concrete, or an affine function of a
+/// state field's initial symbolic value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Elem<T> {
+    /// A known value.
+    Concrete(T),
+    /// A still-symbolic scalar (always the `Affine` variant).
+    Sym(SymScalar),
+}
+
+impl<T: VecElem> Wire for Elem<T> {
+    fn encode(&self, buf: &mut Vec<u8>) {
+        match self {
+            Elem::Concrete(v) => {
+                buf.push(0);
+                v.encode(buf);
+            }
+            Elem::Sym(s) => {
+                buf.push(1);
+                s.encode(buf);
+            }
+        }
+    }
+    fn decode(buf: &mut &[u8]) -> Result<Self, WireError> {
+        match wire::get_bytes(buf, 1)?[0] {
+            0 => Ok(Elem::Concrete(T::decode(buf)?)),
+            1 => Ok(Elem::Sym(SymScalar::decode(buf)?)),
+            t => Err(WireError::InvalidTag(t)),
+        }
+    }
+}
+
+/// A persistent cons cell; `prev` points toward the front of the vector.
+#[derive(Debug)]
+struct Node<T> {
+    elem: Elem<T>,
+    prev: Option<Arc<Node<T>>>,
+}
+
+/// An append-only vector of possibly-symbolic elements with `O(1)` clone.
+///
+/// # Examples
+///
+/// ```
+/// use symple_core::SymVector;
+///
+/// let mut out: SymVector<i64> = SymVector::new();
+/// out.push(3);
+/// out.push(5);
+/// assert_eq!(out.concrete_elems().unwrap(), vec![3, 5]);
+/// ```
+#[derive(Debug, Clone)]
+pub struct SymVector<T: VecElem> {
+    tail: Option<Arc<Node<T>>>,
+    len: usize,
+    sym_len: usize,
+    id: Option<FieldId>,
+}
+
+impl<T: VecElem> Default for SymVector<T> {
+    fn default() -> Self {
+        SymVector::new()
+    }
+}
+
+impl<T: VecElem> Drop for SymVector<T> {
+    fn drop(&mut self) {
+        // Unlink iteratively: the default recursive drop of a long cons
+        // chain would overflow the stack. A node that is still shared
+        // stops the walk — its remaining chain stays alive with the other
+        // owner, whose own drop will continue the work.
+        let mut cur = self.tail.take();
+        while let Some(node) = cur {
+            match Arc::try_unwrap(node) {
+                Ok(mut n) => cur = n.prev.take(),
+                Err(_) => break,
+            }
+        }
+    }
+}
+
+impl<T: VecElem> PartialEq for SymVector<T> {
+    fn eq(&self, other: &Self) -> bool {
+        self.len == other.len && self.sym_len == other.sym_len && lists_eq(&self.tail, &other.tail)
+    }
+}
+
+/// Element-wise equality with a structural-sharing shortcut: once both
+/// cursors reach the same node, the remaining prefix is shared and equal.
+fn lists_eq<T: VecElem>(a: &Option<Arc<Node<T>>>, b: &Option<Arc<Node<T>>>) -> bool {
+    let (mut x, mut y) = (a, b);
+    loop {
+        match (x, y) {
+            (None, None) => return true,
+            (Some(nx), Some(ny)) => {
+                if Arc::ptr_eq(nx, ny) {
+                    return true;
+                }
+                if nx.elem != ny.elem {
+                    return false;
+                }
+                x = &nx.prev;
+                y = &ny.prev;
+            }
+            _ => return false,
+        }
+    }
+}
+
+impl<T: VecElem> SymVector<T> {
+    /// Creates an empty vector.
+    pub fn new() -> SymVector<T> {
+        SymVector {
+            tail: None,
+            len: 0,
+            sym_len: 0,
+            id: None,
+        }
+    }
+
+    fn push_elem(&mut self, elem: Elem<T>) {
+        if matches!(elem, Elem::Sym(_)) {
+            self.sym_len += 1;
+        }
+        self.tail = Some(Arc::new(Node {
+            elem,
+            prev: self.tail.take(),
+        }));
+        self.len += 1;
+    }
+
+    /// Appends a concrete element.
+    pub fn push(&mut self, v: T) {
+        self.push_elem(Elem::Concrete(v));
+    }
+
+    /// Appends the current value of a symbolic scalar.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the scalar is symbolic but `T` cannot represent symbolic
+    /// elements (`T::from_i64` is `None` for all inputs) — pushing a
+    /// symbolic integer into, say, a `SymVector<String>` is a UDA type
+    /// error.
+    pub fn push_scalar(&mut self, s: SymScalar) {
+        match s {
+            SymScalar::Concrete(v) => {
+                let v =
+                    T::from_i64(v).expect("concrete scalar does not fit the vector element type");
+                self.push_elem(Elem::Concrete(v));
+            }
+            sym @ SymScalar::Affine { .. } => {
+                assert!(
+                    T::from_i64(0).is_some(),
+                    "vector element type cannot hold symbolic scalars"
+                );
+                self.push_elem(Elem::Sym(sym));
+            }
+        }
+    }
+
+    /// Appends the current value of a [`SymInt`].
+    ///
+    /// # Panics
+    ///
+    /// See [`SymVector::push_scalar`].
+    pub fn push_int(&mut self, v: &SymInt) {
+        self.push_scalar(v.as_scalar());
+    }
+
+    /// Appends the current value of a [`SymEnum`].
+    ///
+    /// # Panics
+    ///
+    /// See [`SymVector::push_scalar`].
+    pub fn push_enum(&mut self, v: &SymEnum) {
+        match v.concrete_value() {
+            Some(c) => self.push_scalar(SymScalar::Concrete(i64::from(c))),
+            None => {
+                let field = v.field_id().expect("symbolic SymEnum outside engine state");
+                self.push_scalar(SymScalar::Affine { field, a: 1, b: 0 });
+            }
+        }
+    }
+
+    /// Appends the value held by a [`SymPred`], if it has one.
+    ///
+    /// Returns `false` (appending nothing) when the predicate's value is
+    /// concretely unset.
+    pub fn push_pred<P: PredValue>(&mut self, v: &SymPred<P>) -> bool {
+        match v.as_scalar() {
+            Some(s) => {
+                self.push_scalar(s);
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Number of elements appended so far (including any stitched prefix).
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether no element has been appended.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// The elements in append order (allocates; diagnostics and tests).
+    pub fn elems(&self) -> Vec<Elem<T>> {
+        let mut out = Vec::with_capacity(self.len);
+        let mut cur = &self.tail;
+        while let Some(n) = cur {
+            out.push(n.elem.clone());
+            cur = &n.prev;
+        }
+        out.reverse();
+        out
+    }
+
+    /// Extracts the elements, requiring all of them to be concrete.
+    ///
+    /// Used by `Result` functions, which run on a fully concretized state.
+    pub fn concrete_elems(&self) -> Result<Vec<T>> {
+        self.elems()
+            .into_iter()
+            .map(|e| match e {
+                Elem::Concrete(v) => Ok(v),
+                Elem::Sym(_) => Err(Error::Uda(
+                    "vector still holds symbolic elements; result extraction requires a \
+                     fully concrete state"
+                        .into(),
+                )),
+            })
+            .collect()
+    }
+}
+
+impl<T: VecElem> SymField for SymVector<T> {
+    fn make_symbolic(&mut self, id: FieldId) {
+        // The unknown prefix lives in earlier chunks; the local vector
+        // starts empty (hyperobject-style, §4.5).
+        self.tail = None;
+        self.len = 0;
+        self.sym_len = 0;
+        self.id = Some(id);
+    }
+
+    fn is_concrete(&self) -> bool {
+        self.sym_len == 0
+    }
+
+    fn is_aggregate(&self) -> bool {
+        true
+    }
+
+    fn transfer_eq(&self, other: &dyn SymField) -> bool {
+        downcast::<SymVector<T>>(other).is_some_and(|o| self == o)
+    }
+
+    fn constraint_eq(&self, _other: &dyn SymField) -> bool {
+        true // Vectors carry no path constraint.
+    }
+
+    fn constraint_overlaps(&self, _other: &dyn SymField) -> bool {
+        true
+    }
+
+    fn union_constraint(&mut self, _other: &dyn SymField) -> bool {
+        true
+    }
+
+    fn compose_onto(&mut self, prev: &dyn SymField, prev_all: &[&dyn SymField]) -> Result<bool> {
+        let prev =
+            downcast::<SymVector<T>>(prev).ok_or(Error::Uda("field type mismatch".into()))?;
+        // Start from the earlier chunk's (shared) list and append our own
+        // elements, substituting symbolic references through the earlier
+        // path's transfers.
+        let own = self.elems();
+        let mut stitched = prev.clone();
+        for e in own {
+            match e {
+                Elem::Concrete(_) => stitched.push_elem(e),
+                Elem::Sym(s) => {
+                    let SymScalar::Affine { field, .. } = s else {
+                        unreachable!("Sym elements are always affine");
+                    };
+                    let t = prev_all
+                        .get(field.index())
+                        .and_then(|f| f.transfer())
+                        .ok_or_else(|| {
+                            Error::Uda(format!(
+                                "vector element references field {} which has no scalar \
+                                 transfer (was the value reported before it was ever set?)",
+                                field.0
+                            ))
+                        })?;
+                    match s.substitute(t)? {
+                        SymScalar::Concrete(v) => {
+                            let v = T::from_i64(v).ok_or_else(|| {
+                                Error::Uda("concretized element does not fit type".into())
+                            })?;
+                            stitched.push_elem(Elem::Concrete(v));
+                        }
+                        sym => stitched.push_elem(Elem::Sym(sym)),
+                    }
+                }
+            }
+        }
+        stitched.id = prev.id;
+        *self = stitched;
+        Ok(true)
+    }
+
+    fn transfer(&self) -> Option<ScalarTransfer> {
+        None
+    }
+
+    fn encode_field(&self, buf: &mut Vec<u8>) {
+        self.elems().encode(buf);
+    }
+
+    fn decode_field(&mut self, buf: &mut &[u8], id: FieldId) -> Result<(), WireError> {
+        let elems = Vec::<Elem<T>>::decode(buf)?;
+        self.tail = None;
+        self.len = 0;
+        self.sym_len = 0;
+        for e in elems {
+            self.push_elem(e);
+        }
+        self.id = Some(id);
+        Ok(())
+    }
+
+    fn as_any(&self) -> &dyn std::any::Any {
+        self
+    }
+
+    fn describe(&self) -> String {
+        let items: Vec<String> = self
+            .elems()
+            .iter()
+            .map(|e| match e {
+                Elem::Concrete(v) => format!("{v:?}"),
+                Elem::Sym(SymScalar::Affine { field, a, b }) => {
+                    format!("{a}·x{}+{b}", field.0)
+                }
+                Elem::Sym(SymScalar::Concrete(v)) => format!("{v}"),
+            })
+            .collect();
+        format!("[{}]", items.join(", "))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn push_and_extract_concrete() {
+        let mut v: SymVector<i64> = SymVector::new();
+        v.push(1);
+        v.push(2);
+        assert_eq!(v.len(), 2);
+        assert!(!v.is_empty());
+        assert_eq!(v.concrete_elems().unwrap(), vec![1, 2]);
+        assert!(v.is_concrete());
+    }
+
+    #[test]
+    fn clone_is_structural_sharing() {
+        let mut a: SymVector<i64> = SymVector::new();
+        for i in 0..100 {
+            a.push(i);
+        }
+        let mut b = a.clone();
+        b.push(100);
+        assert_eq!(a.len(), 100);
+        assert_eq!(b.len(), 101);
+        assert_eq!(a.concrete_elems().unwrap(), (0..100).collect::<Vec<_>>());
+        assert_eq!(b.concrete_elems().unwrap(), (0..101).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn equality_with_and_without_sharing() {
+        let mut a: SymVector<i64> = SymVector::new();
+        a.push(1);
+        a.push(2);
+        let b = a.clone();
+        assert_eq!(a, b);
+        // Built independently: still equal.
+        let mut c: SymVector<i64> = SymVector::new();
+        c.push(1);
+        c.push(2);
+        assert_eq!(a, c);
+        let mut d = a.clone();
+        d.push(3);
+        assert_ne!(a, d);
+        // Divergent tails over a shared prefix.
+        let mut e = a.clone();
+        e.push(9);
+        let mut f = a.clone();
+        f.push(8);
+        assert_ne!(e, f);
+    }
+
+    #[test]
+    fn push_symbolic_int() {
+        let mut count = SymInt::new(0);
+        count.make_symbolic(FieldId(0));
+        count += 5;
+        let mut v: SymVector<i64> = SymVector::new();
+        v.push_int(&count);
+        assert!(!v.is_concrete());
+        assert!(v.concrete_elems().is_err());
+        assert_eq!(
+            v.elems()[0],
+            Elem::Sym(SymScalar::Affine {
+                field: FieldId(0),
+                a: 1,
+                b: 5
+            })
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot hold symbolic scalars")]
+    fn push_symbolic_into_string_vector_panics() {
+        let mut count = SymInt::new(0);
+        count.make_symbolic(FieldId(0));
+        let mut v: SymVector<String> = SymVector::new();
+        v.push_int(&count);
+    }
+
+    #[test]
+    fn push_enum_and_pred() {
+        let mut e = SymEnum::new(4, 1);
+        let mut v: SymVector<i64> = SymVector::new();
+        v.push_enum(&e);
+        e.make_symbolic(FieldId(2));
+        v.push_enum(&e);
+        assert_eq!(v.elems()[0], Elem::Concrete(1));
+        assert_eq!(
+            v.elems()[1],
+            Elem::Sym(SymScalar::Affine {
+                field: FieldId(2),
+                a: 1,
+                b: 0
+            })
+        );
+
+        let mut p: SymPred<i64> = SymPred::new(|a, b| a < b);
+        assert!(!v.push_pred(&p), "unset pred appends nothing");
+        p.set(9);
+        assert!(v.push_pred(&p));
+        assert_eq!(v.elems()[2], Elem::Concrete(9));
+    }
+
+    #[test]
+    fn compose_stitches_and_concretizes() {
+        // Earlier path: count ended as x + 2 (symbolic), vector [7].
+        let mut prev_count = SymInt::new(0);
+        prev_count.make_symbolic(FieldId(0));
+        prev_count += 2;
+        let mut prev_vec: SymVector<i64> = SymVector::new();
+        prev_vec.make_symbolic(FieldId(1));
+        prev_vec.push(7);
+
+        // Later path: pushed its own symbolic count y·2 then a concrete 1.
+        let mut later: SymVector<i64> = SymVector::new();
+        later.make_symbolic(FieldId(1));
+        later.push_scalar(SymScalar::Affine {
+            field: FieldId(0),
+            a: 2,
+            b: 0,
+        });
+        later.push(1);
+
+        let prev_all: Vec<&dyn SymField> = vec![&prev_count, &prev_vec];
+        assert!(later.compose_onto(&prev_vec, &prev_all).unwrap());
+        assert_eq!(
+            later.elems(),
+            vec![
+                Elem::Concrete(7),
+                // 2·y with y = x + 2 ⇒ 2x + 4.
+                Elem::Sym(SymScalar::Affine {
+                    field: FieldId(0),
+                    a: 2,
+                    b: 4
+                }),
+                Elem::Concrete(1),
+            ]
+        );
+
+        // Composing again onto a concrete earlier state concretizes fully.
+        let concrete_count = SymInt::new(10);
+        let mut concrete_vec: SymVector<i64> = SymVector::new();
+        concrete_vec.push(0);
+        let prev_all: Vec<&dyn SymField> = vec![&concrete_count, &concrete_vec];
+        let mut fin = later.clone();
+        assert!(fin.compose_onto(&concrete_vec, &prev_all).unwrap());
+        assert_eq!(fin.concrete_elems().unwrap(), vec![0, 7, 24, 1]);
+    }
+
+    #[test]
+    fn compose_unset_pred_reference_errors() {
+        let unset: SymPred<i64> = SymPred::new(|a, b| a < b);
+        let mut prev_vec: SymVector<i64> = SymVector::new();
+        prev_vec.make_symbolic(FieldId(1));
+        let mut later: SymVector<i64> = SymVector::new();
+        later.make_symbolic(FieldId(1));
+        later.push_scalar(SymScalar::Affine {
+            field: FieldId(0),
+            a: 1,
+            b: 0,
+        });
+        let prev_all: Vec<&dyn SymField> = vec![&unset, &prev_vec];
+        assert!(later.compose_onto(&prev_vec, &prev_all).is_err());
+    }
+
+    #[test]
+    fn make_symbolic_clears_local() {
+        let mut v: SymVector<i64> = SymVector::new();
+        v.push(1);
+        v.make_symbolic(FieldId(0));
+        assert!(v.is_empty());
+        assert!(v.is_aggregate());
+    }
+
+    #[test]
+    fn transfer_eq_compares_contents() {
+        let mut a: SymVector<i64> = SymVector::new();
+        let mut b: SymVector<i64> = SymVector::new();
+        assert!(a.transfer_eq(&b));
+        a.push(1);
+        assert!(!a.transfer_eq(&b));
+        b.push(1);
+        assert!(a.transfer_eq(&b));
+        assert!(a.constraint_eq(&b));
+        assert!(a.constraint_overlaps(&b));
+        assert!(a.union_constraint(&b));
+    }
+
+    #[test]
+    fn wire_roundtrip() {
+        let mut v: SymVector<i64> = SymVector::new();
+        v.push(5);
+        v.push_scalar(SymScalar::Affine {
+            field: FieldId(0),
+            a: -1,
+            b: 3,
+        });
+        let mut buf = Vec::new();
+        v.encode_field(&mut buf);
+        let mut back: SymVector<i64> = SymVector::new();
+        let mut rd = &buf[..];
+        back.decode_field(&mut rd, FieldId(9)).unwrap();
+        assert!(rd.is_empty());
+        assert_eq!(back.elems(), v.elems());
+        assert!(!back.is_concrete(), "sym_len restored by decode");
+    }
+
+    #[test]
+    fn string_vector_concrete_roundtrip() {
+        let mut v: SymVector<String> = SymVector::new();
+        v.push("abc".to_string());
+        let mut buf = Vec::new();
+        v.encode_field(&mut buf);
+        let mut back: SymVector<String> = SymVector::new();
+        back.decode_field(&mut &buf[..], FieldId(0)).unwrap();
+        assert_eq!(back.concrete_elems().unwrap(), vec!["abc".to_string()]);
+    }
+
+    #[test]
+    fn describe_shows_symbolic_elements() {
+        let mut v: SymVector<i64> = SymVector::new();
+        v.push(5);
+        v.push_scalar(SymScalar::Affine {
+            field: FieldId(0),
+            a: 2,
+            b: 1,
+        });
+        assert_eq!(v.describe(), "[5, 2·x0+1]");
+    }
+
+    #[test]
+    fn deep_list_drop_does_not_overflow_stack() {
+        // A naive recursive Drop on the cons list would blow the stack.
+        let mut v: SymVector<i64> = SymVector::new();
+        for i in 0..200_000 {
+            v.push(i);
+        }
+        drop(v);
+    }
+}

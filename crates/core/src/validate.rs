@@ -1,0 +1,279 @@
+//! Runtime verification of user-written UDAs (§5.3).
+//!
+//! C++ SYMPLE "relies on the user to provide code in the following pattern"
+//! and statically checks what it can with the type system; the Rust type
+//! system already enforces that all loop-carried state lives in symbolic
+//! types. What *cannot* be checked statically in either language are the
+//! behavioural contracts of §2.1 and §5.3:
+//!
+//! * `Update` must be **deterministic** — the engine replays it under
+//!   different choice vectors and assumes identical branch structure;
+//! * `Update` must capture **all side effects in the state** (no hidden
+//!   globals that would diverge between concrete and symbolic runs);
+//! * `Result` must be **pure**;
+//! * symbolic execution from unknown state must agree with concrete
+//!   execution — the soundness that all of the above protect.
+//!
+//! [`validate_uda`] probes these contracts on caller-provided sample
+//! events and reports the first violation, turning silent wrong answers
+//! into actionable errors during UDA development.
+
+use crate::compose::apply_chain;
+use crate::ctx::SymCtx;
+use crate::engine::{EngineConfig, SymbolicExecutor};
+use crate::error::Result;
+use crate::state::{state_is_concrete, SymState};
+use crate::uda::{extract_result, Uda};
+
+/// Problems [`validate_uda`] can detect.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum UdaViolation {
+    /// `init()` returned state with symbolic fields.
+    InitNotConcrete,
+    /// Two `update` runs over the same events produced different states —
+    /// the update function reads something outside the state.
+    NonDeterministicUpdate {
+        /// Index of the first event after which the states diverged.
+        at_event: usize,
+    },
+    /// Two `result` calls on the same state disagreed.
+    ImpureResult,
+    /// Symbolic execution of a chunk, applied to the concrete prefix
+    /// state, disagreed with direct concrete execution.
+    SymbolicMismatch {
+        /// The chunk boundary (event index) at which the check failed.
+        split_at: usize,
+    },
+}
+
+impl std::fmt::Display for UdaViolation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            UdaViolation::InitNotConcrete => {
+                write!(f, "init() must return fully concrete state")
+            }
+            UdaViolation::NonDeterministicUpdate { at_event } => write!(
+                f,
+                "update is not deterministic (diverged after event {at_event}); \
+                 does it read state outside the SymState struct?"
+            ),
+            UdaViolation::ImpureResult => write!(f, "result is not pure"),
+            UdaViolation::SymbolicMismatch { split_at } => write!(
+                f,
+                "symbolic execution disagrees with concrete execution when the \
+                 input is split at event {split_at}"
+            ),
+        }
+    }
+}
+
+/// Compares two states field-wise (transfer + constraint).
+fn states_eq<S: SymState>(a: &S, b: &S) -> bool {
+    let fa = a.fields_ref();
+    let fb = b.fields_ref();
+    fa.len() == fb.len()
+        && fa
+            .iter()
+            .zip(&fb)
+            .all(|(x, y)| x.transfer_eq(*y) && x.constraint_eq(*y))
+}
+
+/// Probes a UDA's behavioural contracts on sample events.
+///
+/// Runs the checks listed in the module docs and returns the first
+/// violation found, `Ok(None)` when everything holds, or `Err` when the
+/// UDA itself errored (overflow, explosion) — which is a legitimate
+/// outcome, not a contract violation.
+///
+/// # Examples
+///
+/// ```
+/// use symple_core::prelude::*;
+/// use symple_core::validate::validate_uda;
+///
+/// # struct CountUda;
+/// # #[derive(Clone, Debug)]
+/// # struct S { n: SymInt }
+/// # impl_sym_state!(S { n });
+/// # impl Uda for CountUda {
+/// #     type State = S;
+/// #     type Event = i64;
+/// #     type Output = i64;
+/// #     fn init(&self) -> S { S { n: SymInt::new(0) } }
+/// #     fn update(&self, s: &mut S, _ctx: &mut SymCtx, _e: &i64) { s.n += 1; }
+/// #     fn result(&self, s: &S, _ctx: &mut SymCtx) -> i64 {
+/// #         s.n.concrete_value().unwrap()
+/// #     }
+/// # }
+/// let verdict = validate_uda(&CountUda, &[1, 2, 3, 4], &EngineConfig::default()).unwrap();
+/// assert!(verdict.is_none());
+/// ```
+pub fn validate_uda<U>(
+    uda: &U,
+    sample_events: &[U::Event],
+    cfg: &EngineConfig,
+) -> Result<Option<UdaViolation>>
+where
+    U: Uda,
+    U::Output: PartialEq,
+{
+    // 1. init() must be concrete.
+    let init = uda.init();
+    if !state_is_concrete(&init) {
+        return Ok(Some(UdaViolation::InitNotConcrete));
+    }
+
+    // 2. Determinism: run the same prefix twice, comparing after each event.
+    let mut a = uda.init();
+    let mut b = uda.init();
+    let mut ctx_a = SymCtx::concrete();
+    let mut ctx_b = SymCtx::concrete();
+    for (i, e) in sample_events.iter().enumerate() {
+        uda.update(&mut a, &mut ctx_a, e);
+        uda.update(&mut b, &mut ctx_b, e);
+        if let Some(err) = ctx_a.take_error() {
+            return Err(err);
+        }
+        let _ = ctx_b.take_error();
+        if !states_eq(&a, &b) {
+            return Ok(Some(UdaViolation::NonDeterministicUpdate { at_event: i }));
+        }
+    }
+
+    // 3. Result purity: two extractions must agree.
+    let r1 = extract_result(uda, &a)?;
+    let r2 = extract_result(uda, &a)?;
+    if r1 != r2 {
+        return Ok(Some(UdaViolation::ImpureResult));
+    }
+
+    // 4. Soundness probe: split at a few points; symbolic suffix applied
+    //    to the concrete prefix must equal the full concrete run.
+    let n = sample_events.len();
+    let expected = extract_result(uda, &a)?;
+    for split_at in [n / 3, n / 2, (2 * n) / 3] {
+        if split_at == 0 || split_at >= n {
+            continue;
+        }
+        let mut prefix_state = uda.init();
+        let mut ctx = SymCtx::concrete();
+        for e in &sample_events[..split_at] {
+            uda.update(&mut prefix_state, &mut ctx, e);
+            if let Some(err) = ctx.take_error() {
+                return Err(err);
+            }
+        }
+        let mut exec = SymbolicExecutor::new(uda, *cfg);
+        exec.feed_all(&sample_events[split_at..])?;
+        let (chain, _) = exec.finish();
+        let combined = apply_chain(&chain, &prefix_state)?;
+        let got = extract_result(uda, &combined)?;
+        if got != expected {
+            return Ok(Some(UdaViolation::SymbolicMismatch { split_at }));
+        }
+    }
+    Ok(None)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::impl_sym_state;
+    use crate::types::sym_int::SymInt;
+    use std::sync::atomic::{AtomicI64, Ordering};
+
+    #[derive(Clone, Debug)]
+    struct S {
+        n: SymInt,
+    }
+    impl_sym_state!(S { n });
+
+    struct GoodUda;
+    impl Uda for GoodUda {
+        type State = S;
+        type Event = i64;
+        type Output = i64;
+        fn init(&self) -> S {
+            S { n: SymInt::new(0) }
+        }
+        fn update(&self, s: &mut S, ctx: &mut SymCtx, e: &i64) {
+            if s.n.lt(ctx, 100) {
+                s.n.add(ctx, *e);
+            }
+        }
+        fn result(&self, s: &S, _ctx: &mut SymCtx) -> i64 {
+            s.n.concrete_value().unwrap_or(0)
+        }
+    }
+
+    #[test]
+    fn good_uda_passes() {
+        let events: Vec<i64> = (0..40).map(|i| i % 7).collect();
+        let verdict = validate_uda(&GoodUda, &events, &EngineConfig::default()).unwrap();
+        assert_eq!(verdict, None);
+    }
+
+    /// A deliberately broken UDA: reads a global counter.
+    struct GlobalReader(AtomicI64);
+    impl Uda for GlobalReader {
+        type State = S;
+        type Event = i64;
+        type Output = i64;
+        fn init(&self) -> S {
+            S { n: SymInt::new(0) }
+        }
+        fn update(&self, s: &mut S, ctx: &mut SymCtx, _e: &i64) {
+            // Side effect outside the state: the cardinal sin of §2.1.
+            let hidden = self.0.fetch_add(1, Ordering::Relaxed);
+            s.n.add(ctx, hidden % 3);
+        }
+        fn result(&self, s: &S, _ctx: &mut SymCtx) -> i64 {
+            s.n.concrete_value().unwrap_or(0)
+        }
+    }
+
+    #[test]
+    fn hidden_global_state_detected() {
+        let uda = GlobalReader(AtomicI64::new(0));
+        let events = vec![1i64; 10];
+        let verdict = validate_uda(&uda, &events, &EngineConfig::default()).unwrap();
+        assert!(
+            matches!(verdict, Some(UdaViolation::NonDeterministicUpdate { .. })),
+            "{verdict:?}"
+        );
+        assert!(verdict.unwrap().to_string().contains("deterministic"));
+    }
+
+    #[test]
+    fn erroring_uda_reports_error_not_violation() {
+        struct OverflowUda;
+        impl Uda for OverflowUda {
+            type State = S;
+            type Event = i64;
+            type Output = i64;
+            fn init(&self) -> S {
+                S {
+                    n: SymInt::new(i64::MAX - 1),
+                }
+            }
+            fn update(&self, s: &mut S, ctx: &mut SymCtx, _e: &i64) {
+                s.n.add(ctx, 1);
+            }
+            fn result(&self, s: &S, _ctx: &mut SymCtx) -> i64 {
+                s.n.concrete_value().unwrap_or(0)
+            }
+        }
+        let events = vec![0i64; 5];
+        let out = validate_uda(&OverflowUda, &events, &EngineConfig::default());
+        assert!(matches!(
+            out,
+            Err(crate::error::Error::ArithmeticOverflow { .. })
+        ));
+    }
+
+    #[test]
+    fn empty_sample_is_fine() {
+        let verdict = validate_uda(&GoodUda, &[], &EngineConfig::default()).unwrap();
+        assert_eq!(verdict, None);
+    }
+}

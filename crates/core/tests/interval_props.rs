@@ -1,0 +1,90 @@
+//! Property tests for the interval algebra — the decision procedure under
+//! every `SymInt`, checked against brute force on small domains.
+
+use proptest::prelude::*;
+
+use symple_core::Interval;
+
+fn small_interval() -> impl Strategy<Value = Interval> {
+    (-60i64..60, -60i64..60).prop_map(|(a, b)| Interval::new(a.min(b), a.max(b)))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn intersect_is_pointwise(a in small_interval(), b in small_interval()) {
+        let c = a.intersect(&b);
+        for x in -70i64..=70 {
+            prop_assert_eq!(c.contains(x), a.contains(x) && b.contains(x), "x={}", x);
+        }
+    }
+
+    #[test]
+    fn union_if_contiguous_is_exact(a in small_interval(), b in small_interval()) {
+        match a.union_if_contiguous(&b) {
+            Some(u) => {
+                for x in -70i64..=70 {
+                    prop_assert_eq!(u.contains(x), a.contains(x) || b.contains(x), "x={}", x);
+                }
+            }
+            None => {
+                // A refusal must mean the union genuinely has a gap.
+                let mut inside = false;
+                let mut gap_after_inside = false;
+                for x in -70i64..=70 {
+                    let member = a.contains(x) || b.contains(x);
+                    if member && gap_after_inside {
+                        // second component found
+                        return Ok(());
+                    }
+                    if inside && !member {
+                        gap_after_inside = true;
+                    }
+                    inside |= member;
+                }
+                prop_assert!(false, "union refused but set was contiguous: {:?} {:?}", a, b);
+            }
+        }
+    }
+
+    #[test]
+    fn split_lt_partitions(iv in small_interval(), a in prop_oneof![-4i64..0, 1i64..5], b in -20i64..20, c in -80i64..80) {
+        let (t, e) = iv.split_lt(a, b, c);
+        for x in iv.lb..=iv.ub {
+            let holds = a * x + b < c;
+            prop_assert_eq!(t.contains(x), holds);
+            prop_assert_eq!(e.contains(x), !holds);
+        }
+    }
+
+    #[test]
+    fn split_le_partitions(iv in small_interval(), a in prop_oneof![-4i64..0, 1i64..5], b in -20i64..20, c in -80i64..80) {
+        let (t, e) = iv.split_le(a, b, c);
+        for x in iv.lb..=iv.ub {
+            let holds = a * x + b <= c;
+            prop_assert_eq!(t.contains(x), holds);
+            prop_assert_eq!(e.contains(x), !holds);
+        }
+    }
+
+    #[test]
+    fn split_eq_partitions(iv in small_interval(), a in prop_oneof![-4i64..0, 1i64..5], b in -20i64..20, c in -80i64..80) {
+        let (eq, below, above) = iv.split_eq(a, b, c);
+        for x in iv.lb..=iv.ub {
+            let holds = a * x + b == c;
+            prop_assert_eq!(eq.contains(x), holds);
+            // The residual sides cover exactly the non-solutions.
+            prop_assert_eq!(below.contains(x) || above.contains(x), !holds);
+            prop_assert!(!(below.contains(x) && above.contains(x)));
+        }
+    }
+
+    #[test]
+    fn preimage_is_exact(iv in small_interval(), a in prop_oneof![-4i64..0, 1i64..5], b in -20i64..20) {
+        let pre = iv.preimage_affine(a, b);
+        for x in -80i64..=80 {
+            prop_assert_eq!(pre.contains(x), iv.contains(a * x + b), "x={}", x);
+        }
+    }
+}

@@ -1,0 +1,523 @@
+//! Brute-force oracles for the symbolic data types: a random *program* of
+//! operations is executed once symbolically (from unknown `x`) and once
+//! concretely for every `x` in a small domain; the summary's prediction
+//! must match the concrete run exactly — the type-level statement of
+//! "sound and precise" (§2.3).
+
+use proptest::prelude::*;
+
+use symple_core::compose::apply_summary;
+use symple_core::engine::{EngineConfig, SymbolicExecutor};
+use symple_core::impl_sym_state;
+use symple_core::types::{sym_enum::SymEnum, sym_int::SymInt, sym_vector::SymVector};
+use symple_core::uda::Uda;
+use symple_core::SymCtx;
+
+// ------------------------------------------------------------- SymInt ---
+
+/// One step of a straight-line integer program. Comparisons gate an
+/// assignment so that branch decisions feed back into the transfer
+/// function.
+#[derive(Debug, Clone, Copy)]
+enum IntOp {
+    Add(i64),
+    Mul(i64),
+    Rsub(i64),
+    IfLtAssign(i64, i64),
+    IfGeAdd(i64, i64),
+    IfEqAssign(i64, i64),
+    IfNeMul(i64, i64),
+    PushCount,
+}
+
+fn int_op_strategy() -> impl Strategy<Value = IntOp> {
+    prop_oneof![
+        (-20i64..20).prop_map(IntOp::Add),
+        (-3i64..4).prop_map(IntOp::Mul),
+        (-20i64..20).prop_map(IntOp::Rsub),
+        ((-30i64..30), (-20i64..20)).prop_map(|(c, v)| IntOp::IfLtAssign(c, v)),
+        ((-30i64..30), (-10i64..10)).prop_map(|(c, v)| IntOp::IfGeAdd(c, v)),
+        ((-30i64..30), (-20i64..20)).prop_map(|(c, v)| IntOp::IfEqAssign(c, v)),
+        ((-30i64..30), (-2i64..3)).prop_map(|(c, v)| IntOp::IfNeMul(c, v)),
+        Just(IntOp::PushCount),
+    ]
+}
+
+struct IntProgram;
+
+#[derive(Clone, Debug)]
+struct IntState {
+    v: SymInt,
+    out: SymVector<i64>,
+}
+impl_sym_state!(IntState { v, out });
+
+impl Uda for IntProgram {
+    type State = IntState;
+    type Event = IntOp;
+    type Output = ();
+    fn init(&self) -> IntState {
+        IntState {
+            v: SymInt::new(0),
+            out: SymVector::new(),
+        }
+    }
+    fn update(&self, s: &mut IntState, ctx: &mut SymCtx, op: &IntOp) {
+        match *op {
+            IntOp::Add(k) => s.v.add(ctx, k),
+            IntOp::Mul(k) => s.v.mul(ctx, k),
+            IntOp::Rsub(k) => s.v.rsub(ctx, k),
+            IntOp::IfLtAssign(c, v) => {
+                if s.v.lt(ctx, c) {
+                    s.v.assign(v);
+                }
+            }
+            IntOp::IfGeAdd(c, v) => {
+                if s.v.ge(ctx, c) {
+                    s.v.add(ctx, v);
+                }
+            }
+            IntOp::IfEqAssign(c, v) => {
+                if s.v.eq_c(ctx, c) {
+                    s.v.assign(v);
+                }
+            }
+            IntOp::IfNeMul(c, v) => {
+                if s.v.ne_c(ctx, c) {
+                    s.v.mul(ctx, v);
+                }
+            }
+            IntOp::PushCount => s.out.push_int(&s.v),
+        }
+    }
+    fn result(&self, _s: &IntState, _ctx: &mut SymCtx) {}
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// The SymInt decision procedures and canonical-form algebra predict
+    /// exactly what concrete execution computes, for every initial value.
+    #[test]
+    fn sym_int_summary_matches_concrete_oracle(
+        program in prop::collection::vec(int_op_strategy(), 0..12),
+    ) {
+        // Symbolic run from unknown initial value.
+        let uda = IntProgram;
+        let cfg = EngineConfig { max_paths_per_record: 512, max_total_paths: 64, ..Default::default() };
+        let mut exec = SymbolicExecutor::new(&uda, cfg);
+        // Feed the whole program as individual "records".
+        for op in &program {
+            exec.feed(op).unwrap();
+        }
+        let (chain, _) = exec.finish();
+
+        // Oracle: run concretely for every x in a window around the
+        // constants used.
+        for x in -40i64..=40 {
+            let mut init = uda.init();
+            init.v.assign(x);
+            // Concrete truth.
+            let mut truth = init.clone();
+            let mut ctx = SymCtx::concrete();
+            for op in &program {
+                uda.update(&mut truth, &mut ctx, op);
+                prop_assert!(ctx.take_error().is_none());
+            }
+            // Symbolic prediction.
+            let mut predicted = init.clone();
+            for summary in chain.summaries() {
+                predicted = apply_summary(summary, &predicted).unwrap();
+            }
+            prop_assert_eq!(
+                predicted.v.concrete_value(), truth.v.concrete_value(),
+                "x={} program={:?}", x, program
+            );
+            prop_assert_eq!(
+                predicted.out.concrete_elems().unwrap(),
+                truth.out.concrete_elems().unwrap(),
+                "outputs diverged at x={}", x
+            );
+        }
+    }
+}
+
+// ------------------------------------------------------------ SymEnum ---
+
+/// One step of a state-machine program over a small enum domain.
+#[derive(Debug, Clone, Copy)]
+enum EnumOp {
+    IfEqAssign(u32, u32),
+    IfNeAssign(u32, u32),
+    IfInMaskAssign(u64, u32),
+    PushState,
+}
+
+const DOMAIN: u32 = 5;
+
+fn enum_op_strategy() -> impl Strategy<Value = EnumOp> {
+    prop_oneof![
+        ((0u32..DOMAIN), (0u32..DOMAIN)).prop_map(|(c, v)| EnumOp::IfEqAssign(c, v)),
+        ((0u32..DOMAIN), (0u32..DOMAIN)).prop_map(|(c, v)| EnumOp::IfNeAssign(c, v)),
+        ((0u64..(1 << DOMAIN)), (0u32..DOMAIN)).prop_map(|(m, v)| EnumOp::IfInMaskAssign(m, v)),
+        Just(EnumOp::PushState),
+    ]
+}
+
+struct EnumProgram;
+
+#[derive(Clone, Debug)]
+struct EnumState {
+    s: SymEnum,
+    out: SymVector<i64>,
+}
+impl_sym_state!(EnumState { s, out });
+
+impl Uda for EnumProgram {
+    type State = EnumState;
+    type Event = EnumOp;
+    type Output = ();
+    fn init(&self) -> EnumState {
+        EnumState {
+            s: SymEnum::new(DOMAIN, 0),
+            out: SymVector::new(),
+        }
+    }
+    fn update(&self, st: &mut EnumState, ctx: &mut SymCtx, op: &EnumOp) {
+        match *op {
+            EnumOp::IfEqAssign(c, v) => {
+                if st.s.eq_c(ctx, c) {
+                    st.s.assign(ctx, v);
+                }
+            }
+            EnumOp::IfNeAssign(c, v) => {
+                if st.s.ne_c(ctx, c) {
+                    st.s.assign(ctx, v);
+                }
+            }
+            EnumOp::IfInMaskAssign(m, v) => {
+                if st.s.in_mask(ctx, m) {
+                    st.s.assign(ctx, v);
+                }
+            }
+            EnumOp::PushState => st.out.push_enum(&st.s),
+        }
+    }
+    fn result(&self, _s: &EnumState, _ctx: &mut SymCtx) {}
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// The SymEnum bit-set procedures predict concrete FSM execution for
+    /// every initial state in the domain.
+    #[test]
+    fn sym_enum_summary_matches_concrete_oracle(
+        program in prop::collection::vec(enum_op_strategy(), 0..10),
+    ) {
+        let uda = EnumProgram;
+        let cfg = EngineConfig { max_paths_per_record: 512, max_total_paths: 64, ..Default::default() };
+        let mut exec = SymbolicExecutor::new(&uda, cfg);
+        for op in &program {
+            exec.feed(op).unwrap();
+        }
+        let (chain, _) = exec.finish();
+
+        for x in 0..DOMAIN {
+            let mut init = uda.init();
+            let mut ctx = SymCtx::concrete();
+            init.s.assign(&mut ctx, x);
+            let mut truth = init.clone();
+            for op in &program {
+                uda.update(&mut truth, &mut ctx, op);
+                prop_assert!(ctx.take_error().is_none());
+            }
+            let mut predicted = init.clone();
+            for summary in chain.summaries() {
+                predicted = apply_summary(summary, &predicted).unwrap();
+            }
+            prop_assert_eq!(
+                predicted.s.concrete_value(), truth.s.concrete_value(),
+                "x={} program={:?}", x, program
+            );
+            prop_assert_eq!(
+                predicted.out.concrete_elems().unwrap(),
+                truth.out.concrete_elems().unwrap(),
+                "outputs diverged at x={}", x
+            );
+        }
+    }
+}
+
+// --------------------------------------------------- mixed-state oracle --
+
+/// Random two-field programs: verifies the conjunction-of-constraints path
+/// model across fields (merging only ever unions one field's constraint).
+#[derive(Debug, Clone, Copy)]
+enum MixedOp {
+    Int(IntOp),
+    Enum(EnumOp),
+    /// Gate an int update behind an enum test — cross-field control flow.
+    IfEnumEqAddInt(u32, i64),
+}
+
+fn mixed_op_strategy() -> impl Strategy<Value = MixedOp> {
+    prop_oneof![
+        int_op_strategy().prop_map(MixedOp::Int),
+        enum_op_strategy().prop_map(MixedOp::Enum),
+        ((0u32..DOMAIN), (-10i64..10)).prop_map(|(c, v)| MixedOp::IfEnumEqAddInt(c, v)),
+    ]
+}
+
+struct MixedProgram;
+
+#[derive(Clone, Debug)]
+struct MixedState {
+    v: SymInt,
+    out: SymVector<i64>,
+    s: SymEnum,
+    out2: SymVector<i64>,
+}
+impl_sym_state!(MixedState { v, out, s, out2 });
+
+impl Uda for MixedProgram {
+    type State = MixedState;
+    type Event = MixedOp;
+    type Output = ();
+    fn init(&self) -> MixedState {
+        MixedState {
+            v: SymInt::new(0),
+            out: SymVector::new(),
+            s: SymEnum::new(DOMAIN, 0),
+            out2: SymVector::new(),
+        }
+    }
+    fn update(&self, st: &mut MixedState, ctx: &mut SymCtx, op: &MixedOp) {
+        match *op {
+            MixedOp::Int(iop) => {
+                let mut sub = IntState {
+                    v: st.v,
+                    out: SymVector::new(),
+                };
+                IntProgram.update(&mut sub, ctx, &iop);
+                st.v = sub.v;
+                for e in sub.out.elems() {
+                    match e {
+                        symple_core::types::sym_vector::Elem::Concrete(c) => st.out.push(c),
+                        symple_core::types::sym_vector::Elem::Sym(sc) => st.out.push_scalar(sc),
+                    }
+                }
+            }
+            MixedOp::Enum(eop) => {
+                let mut sub = EnumState {
+                    s: st.s,
+                    out: SymVector::new(),
+                };
+                EnumProgram.update(&mut sub, ctx, &eop);
+                st.s = sub.s;
+                for e in sub.out.elems() {
+                    match e {
+                        symple_core::types::sym_vector::Elem::Concrete(c) => st.out2.push(c),
+                        symple_core::types::sym_vector::Elem::Sym(sc) => st.out2.push_scalar(sc),
+                    }
+                }
+            }
+            MixedOp::IfEnumEqAddInt(c, v) => {
+                if st.s.eq_c(ctx, c) {
+                    st.v.add(ctx, v);
+                }
+            }
+        }
+    }
+    fn result(&self, _s: &MixedState, _ctx: &mut SymCtx) {}
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn mixed_state_summary_matches_concrete_oracle(
+        program in prop::collection::vec(mixed_op_strategy(), 0..8),
+    ) {
+        let uda = MixedProgram;
+        let cfg = EngineConfig { max_paths_per_record: 2_048, max_total_paths: 256, ..Default::default() };
+        let mut exec = SymbolicExecutor::new(&uda, cfg);
+        for op in &program {
+            exec.feed(op).unwrap();
+        }
+        let (chain, _) = exec.finish();
+
+        for x in -15i64..=15 {
+            for e in 0..DOMAIN {
+                let mut init = uda.init();
+                init.v.assign(x);
+                let mut ctx = SymCtx::concrete();
+                init.s.assign(&mut ctx, e);
+                let mut truth = init.clone();
+                for op in &program {
+                    uda.update(&mut truth, &mut ctx, op);
+                    prop_assert!(ctx.take_error().is_none());
+                }
+                let mut predicted = init.clone();
+                for summary in chain.summaries() {
+                    predicted = apply_summary(summary, &predicted).unwrap();
+                }
+                prop_assert_eq!(predicted.v.concrete_value(), truth.v.concrete_value());
+                prop_assert_eq!(predicted.s.concrete_value(), truth.s.concrete_value());
+                prop_assert_eq!(
+                    predicted.out.concrete_elems().unwrap(),
+                    truth.out.concrete_elems().unwrap()
+                );
+                prop_assert_eq!(
+                    predicted.out2.concrete_elems().unwrap(),
+                    truth.out2.concrete_elems().unwrap()
+                );
+            }
+        }
+    }
+}
+
+// ----------------------------------------------------------- SymMinMax --
+
+#[derive(Debug, Clone, Copy)]
+enum MmOp {
+    Update(i64),
+    IfLtAssign(i64, i64),
+    IfGtUpdate(i64, i64),
+    IfLeUpdate(i64, i64),
+    IfGeAssign(i64, i64),
+}
+
+fn mm_op_strategy() -> impl Strategy<Value = MmOp> {
+    prop_oneof![
+        (-25i64..25).prop_map(MmOp::Update),
+        ((-30i64..30), (-25i64..25)).prop_map(|(c, v)| MmOp::IfLtAssign(c, v)),
+        ((-30i64..30), (-25i64..25)).prop_map(|(c, v)| MmOp::IfGtUpdate(c, v)),
+        ((-30i64..30), (-25i64..25)).prop_map(|(c, v)| MmOp::IfLeUpdate(c, v)),
+        ((-30i64..30), (-25i64..25)).prop_map(|(c, v)| MmOp::IfGeAssign(c, v)),
+    ]
+}
+
+struct MmProgram(symple_core::Extremum);
+
+#[derive(Clone, Debug)]
+struct MmState {
+    m: symple_core::SymMinMax,
+}
+impl_sym_state!(MmState { m });
+
+impl Uda for MmProgram {
+    type State = MmState;
+    type Event = MmOp;
+    type Output = ();
+    fn init(&self) -> MmState {
+        MmState {
+            m: symple_core::SymMinMax::new(self.0),
+        }
+    }
+    fn update(&self, s: &mut MmState, ctx: &mut SymCtx, op: &MmOp) {
+        match *op {
+            MmOp::Update(e) => s.m.update(e),
+            MmOp::IfLtAssign(c, v) => {
+                if s.m.lt(ctx, c) {
+                    s.m.assign(v);
+                }
+            }
+            MmOp::IfGtUpdate(c, v) => {
+                if s.m.gt(ctx, c) {
+                    s.m.update(v);
+                }
+            }
+            MmOp::IfLeUpdate(c, v) => {
+                if s.m.le(ctx, c) {
+                    s.m.update(v);
+                }
+            }
+            MmOp::IfGeAssign(c, v) => {
+                if s.m.ge(ctx, c) {
+                    s.m.assign(v);
+                }
+            }
+        }
+    }
+    fn result(&self, _s: &MmState, _ctx: &mut SymCtx) {}
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// The user-defined SymMinMax type obeys the same oracle as the
+    /// built-ins, in both modes.
+    #[test]
+    fn sym_minmax_summary_matches_concrete_oracle(
+        program in prop::collection::vec(mm_op_strategy(), 0..10),
+        is_max in any::<bool>(),
+    ) {
+        let mode = if is_max {
+            symple_core::Extremum::Max
+        } else {
+            symple_core::Extremum::Min
+        };
+        let uda = MmProgram(mode);
+        let cfg = EngineConfig { max_paths_per_record: 512, max_total_paths: 64, ..Default::default() };
+        let mut exec = SymbolicExecutor::new(&uda, cfg);
+        for op in &program {
+            exec.feed(op).unwrap();
+        }
+        let (chain, _) = exec.finish();
+
+        for x in -40i64..=40 {
+            let mut init = uda.init();
+            init.m.assign(x);
+            let mut truth = init.clone();
+            let mut ctx = SymCtx::concrete();
+            for op in &program {
+                uda.update(&mut truth, &mut ctx, op);
+                prop_assert!(ctx.take_error().is_none());
+            }
+            let mut predicted = init.clone();
+            for summary in chain.summaries() {
+                predicted = apply_summary(summary, &predicted).unwrap();
+            }
+            prop_assert_eq!(
+                predicted.m.concrete_value(), truth.m.concrete_value(),
+                "mode={:?} x={} program={:?}", mode, x, program
+            );
+        }
+    }
+}
+
+/// Wire round-trips preserve application semantics for random programs.
+#[test]
+fn summary_wire_roundtrip_random_programs() {
+    use symple_core::summary::SummaryChain;
+    let uda = IntProgram;
+    let programs: Vec<Vec<IntOp>> = vec![
+        vec![IntOp::Add(3), IntOp::IfLtAssign(5, -2), IntOp::PushCount],
+        vec![
+            IntOp::Mul(2),
+            IntOp::IfEqAssign(4, 9),
+            IntOp::Rsub(7),
+            IntOp::PushCount,
+        ],
+        vec![IntOp::IfGeAdd(0, 1), IntOp::IfNeMul(3, 2)],
+    ];
+    for program in programs {
+        let mut exec = SymbolicExecutor::new(&uda, EngineConfig::default());
+        for op in &program {
+            exec.feed(op).unwrap();
+        }
+        let (chain, _) = exec.finish();
+        let mut buf = Vec::new();
+        chain.encode(&mut buf);
+        let template = uda.init();
+        let decoded = SummaryChain::decode(&template, &mut &buf[..]).unwrap();
+        for x in -10i64..10 {
+            let mut init = uda.init();
+            init.v.assign(x);
+            let a = symple_core::compose::apply_chain(&chain, &init).unwrap();
+            let b = symple_core::compose::apply_chain(&decoded, &init).unwrap();
+            assert_eq!(a.v.concrete_value(), b.v.concrete_value());
+        }
+    }
+}

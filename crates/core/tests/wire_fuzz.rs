@@ -1,0 +1,115 @@
+//! Fuzz-style robustness tests for the wire format: decoding arbitrary or
+//! mutated bytes must never panic, loop, or mis-decode into something a
+//! re-encode doesn't reproduce.
+
+use proptest::prelude::*;
+
+use symple_core::impl_sym_state;
+use symple_core::summary::SummaryChain;
+use symple_core::types::{
+    sym_bool::SymBool, sym_enum::SymEnum, sym_int::SymInt, sym_pred::SymPred, sym_vector::SymVector,
+};
+use symple_core::wire::Wire;
+
+#[derive(Clone, Debug)]
+struct Kitchen {
+    b: SymBool,
+    e: SymEnum,
+    i: SymInt,
+    p: SymPred<i64>,
+    v: SymVector<i64>,
+}
+impl_sym_state!(Kitchen { b, e, i, p, v });
+
+fn template() -> Kitchen {
+    Kitchen {
+        b: SymBool::new(false),
+        e: SymEnum::new(12, 0),
+        i: SymInt::new(0),
+        p: SymPred::new(|a: &i64, b: &i64| a < b),
+        v: SymVector::new(),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    /// Arbitrary byte soup: decode must return (Ok or Err), never panic.
+    #[test]
+    fn summary_decode_never_panics(bytes in prop::collection::vec(any::<u8>(), 0..256)) {
+        let t = template();
+        let mut rd = &bytes[..];
+        let _ = SummaryChain::<Kitchen>::decode(&t, &mut rd);
+    }
+
+    /// Primitive decoders on byte soup.
+    #[test]
+    fn primitive_decoders_never_panic(bytes in prop::collection::vec(any::<u8>(), 0..64)) {
+        let mut rd = &bytes[..];
+        let _ = u64::decode(&mut rd);
+        let mut rd = &bytes[..];
+        let _ = i64::decode(&mut rd);
+        let mut rd = &bytes[..];
+        let _ = String::decode(&mut rd);
+        let mut rd = &bytes[..];
+        let _ = Vec::<i64>::decode(&mut rd);
+        let mut rd = &bytes[..];
+        let _ = Option::<(u32, bool)>::decode(&mut rd);
+    }
+
+    /// Single-byte mutations of a valid encoding: decode either fails or
+    /// yields something that re-encodes deterministically.
+    #[test]
+    fn mutated_valid_encodings_stay_safe(
+        flip_at in 0usize..64,
+        xor in 1u8..=255,
+    ) {
+        use symple_core::engine::{EngineConfig, SymbolicExecutor};
+        use symple_core::uda::Uda;
+        use symple_core::SymCtx;
+
+        struct K;
+        impl Uda for K {
+            type State = Kitchen;
+            type Event = i64;
+            type Output = ();
+            fn init(&self) -> Kitchen {
+                template()
+            }
+            fn update(&self, s: &mut Kitchen, ctx: &mut SymCtx, e: &i64) {
+                if s.b.get(ctx) {
+                    s.i.add(ctx, *e);
+                }
+                if s.e.eq_c(ctx, 3) {
+                    s.v.push_int(&s.i);
+                }
+                if s.p.eval(ctx, e) {
+                    s.b.assign(true);
+                }
+                s.p.set(*e);
+                let _ = s.e.ne_c(ctx, (e % 12).unsigned_abs() as u32);
+            }
+            fn result(&self, _s: &Kitchen, _ctx: &mut SymCtx) {}
+        }
+
+        let mut exec = SymbolicExecutor::new(&K, EngineConfig::default());
+        exec.feed_all([3i64, 9, 4].iter()).unwrap();
+        let (chain, _) = exec.finish();
+        let mut buf = Vec::new();
+        chain.encode(&mut buf);
+        let i = flip_at % buf.len();
+        buf[i] ^= xor;
+        let t = template();
+        let mut rd = &buf[..];
+        if let Ok(decoded) = SummaryChain::<Kitchen>::decode(&t, &mut rd) {
+            let mut re = Vec::new();
+            decoded.encode(&mut re);
+            let mut rd2 = &re[..];
+            let again = SummaryChain::<Kitchen>::decode(&t, &mut rd2)
+                .expect("re-encoded output must decode");
+            let mut re2 = Vec::new();
+            again.encode(&mut re2);
+            prop_assert_eq!(re, re2, "encode∘decode must be idempotent");
+        }
+    }
+}

@@ -1,0 +1,59 @@
+#![warn(missing_docs)]
+
+//! # symple-datagen
+//!
+//! Seeded synthetic datasets matching the schemas, group cardinalities and
+//! temporal structure of the four datasets in the SYMPLE evaluation
+//! (§6.1, Table 1).
+//!
+//! The originals are proprietary or impractically large (Bing query logs —
+//! 300 GB, Twitter — 1.23 TB, GitHub archive — 419 GB, RedShift ad
+//! impressions — 1.2 TB), so each generator produces a scaled-down,
+//! deterministic stand-in that preserves what the queries exercise:
+//!
+//! * timestamp-ordered records;
+//! * the *group-count regime* (1 group for B1, tens of geo areas for B2,
+//!   millions-of-users-scaled for B3/G\*, 10 K advertisers for R\*) — the
+//!   variable §6.5 identifies as the driver of SYMPLE's benefit;
+//! * the temporal patterns the UDAs mine (outage windows, sessions, spam
+//!   bursts, purchase funnels, campaign runs);
+//! * realistic *raw record sizes* (≈1 KB records with many unused fields)
+//!   so that I/O and shuffle accounting scale like the paper's.
+//!
+//! All generators are pure functions of their config (seeded `StdRng`), so
+//! repeated runs — and re-executed mapper tasks — see identical data.
+
+pub mod bing;
+pub mod github;
+pub mod redshift;
+pub mod store;
+pub mod text;
+pub mod twitter;
+pub mod weblog;
+
+pub use bing::{generate_bing, BingConfig, BingQuery};
+pub use github::{generate_github, GithubConfig, GithubEvent, GithubOp};
+pub use redshift::{generate_redshift, AdImpression, RedshiftConfig};
+pub use store::{list_segments, read_segment, read_segment_lines, write_segments, StoreError};
+pub use text::{to_lines, TextRecord};
+pub use twitter::{generate_twitter, Tweet, TwitterConfig};
+pub use weblog::{generate_weblog, WebEvent, WebEventKind, WeblogConfig};
+
+/// Raw on-storage bytes per record, used for I/O accounting.
+///
+/// Derived from the paper's dataset sizes and record counts: "most queries
+/// will read through the datasets and discard most of their fields" (§6.3).
+pub mod raw_sizes {
+    /// GitHub archive events (419 GB of JSON-ish records).
+    pub const GITHUB: u64 = 1024;
+    /// Bing query-log rows (300 GB / 1.9 B queries ≈ 158 B).
+    pub const BING: u64 = 158;
+    /// Tweets with metadata (1.23 TB / 24 h of tweets).
+    pub const TWITTER: u64 = 2458;
+    /// RedShift ad-impression rows, complete variant (≈1 KB, §6.3).
+    pub const REDSHIFT: u64 = 1000;
+    /// RedShift condensed variant: only the four used columns (50 GB).
+    pub const REDSHIFT_CONDENSED: u64 = 42;
+    /// Synthetic web activity log (Figure 1's motivating workload).
+    pub const WEBLOG: u64 = 512;
+}

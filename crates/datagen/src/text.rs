@@ -1,0 +1,405 @@
+//! Textual record format: CSV-ish log lines with real datetime fields.
+//!
+//! The paper's mappers read raw ≈1 KB records and discard most fields; it
+//! even observes that R3c's runtime "is dominated by C standard lib
+//! datetime parsing" (§6.3). To reproduce that cost profile, every dataset
+//! can be rendered to (and parsed from) log lines whose timestamps are
+//! `YYYY-MM-DD HH:MM:SS` strings, with filler columns standing in for the
+//! fields real logs carry but the queries discard.
+
+use crate::{AdImpression, BingQuery, GithubEvent, GithubOp, Tweet, WebEvent, WebEventKind};
+
+/// Days from civil date — Howard Hinnant's algorithm.
+fn days_from_civil(y: i64, m: u32, d: u32) -> i64 {
+    let y = if m <= 2 { y - 1 } else { y };
+    let era = if y >= 0 { y } else { y - 399 } / 400;
+    let yoe = y - era * 400;
+    let mp = (m as i64 + 9) % 12;
+    let doy = (153 * mp + 2) / 5 + d as i64 - 1;
+    let doe = yoe * 365 + yoe / 4 - yoe / 100 + doy;
+    era * 146_097 + doe - 719_468
+}
+
+/// Civil date from days — the inverse of [`days_from_civil`].
+fn civil_from_days(z: i64) -> (i64, u32, u32) {
+    let z = z + 719_468;
+    let era = if z >= 0 { z } else { z - 146_096 } / 146_097;
+    let doe = z - era * 146_097;
+    let yoe = (doe - doe / 1460 + doe / 36_524 - doe / 146_096) / 365;
+    let y = yoe + era * 400;
+    let doy = doe - (365 * yoe + yoe / 4 - yoe / 100);
+    let mp = (5 * doy + 2) / 153;
+    let d = (doy - (153 * mp + 2) / 5 + 1) as u32;
+    let m = if mp < 10 { mp + 3 } else { mp - 9 } as u32;
+    (if m <= 2 { y + 1 } else { y }, m, d)
+}
+
+/// Formats an epoch second as `YYYY-MM-DD HH:MM:SS`.
+pub fn format_datetime(epoch: i64, out: &mut String) {
+    use std::fmt::Write;
+    let days = epoch.div_euclid(86_400);
+    let secs = epoch.rem_euclid(86_400);
+    let (y, m, d) = civil_from_days(days);
+    let (h, mi, s) = (secs / 3_600, (secs / 60) % 60, secs % 60);
+    let _ = write!(out, "{y:04}-{m:02}-{d:02} {h:02}:{mi:02}:{s:02}");
+}
+
+/// Parses `YYYY-MM-DD HH:MM:SS` into an epoch second.
+pub fn parse_datetime(s: &str) -> Option<i64> {
+    let b = s.as_bytes();
+    if b.len() != 19
+        || b[4] != b'-'
+        || b[7] != b'-'
+        || b[10] != b' '
+        || b[13] != b':'
+        || b[16] != b':'
+    {
+        return None;
+    }
+    let num = |r: std::ops::Range<usize>| -> Option<i64> { s.get(r)?.parse().ok() };
+    let (y, m, d) = (num(0..4)?, num(5..7)? as u32, num(8..10)? as u32);
+    let (h, mi, sec) = (num(11..13)?, num(14..16)?, num(17..19)?);
+    if !(1..=12).contains(&m) || !(1..=31).contains(&d) || h > 23 || mi > 59 || sec > 59 {
+        return None;
+    }
+    Some(days_from_civil(y, m, d) * 86_400 + h * 3_600 + mi * 60 + sec)
+}
+
+/// Records that can be rendered to and parsed from a log line.
+///
+/// `to_line` appends a line *without* the trailing newline; `parse_line`
+/// must accept exactly what `to_line` produced (round-trip identity is
+/// property-tested).
+pub trait TextRecord: Sized {
+    /// Appends the record as a log line.
+    fn to_line(&self, out: &mut String);
+    /// Parses a log line.
+    fn parse_line(line: &str) -> Option<Self>;
+}
+
+/// Renders a record list to lines.
+pub fn to_lines<R: TextRecord>(records: &[R]) -> Vec<String> {
+    records
+        .iter()
+        .map(|r| {
+            let mut s = String::with_capacity(96);
+            r.to_line(&mut s);
+            s
+        })
+        .collect()
+}
+
+/// Filler column emulating a log field the queries discard.
+fn filler(seed: u64, out: &mut String) {
+    use std::fmt::Write;
+    let _ = write!(out, "{:016x}", seed.wrapping_mul(0x9e37_79b9_7f4a_7c15));
+}
+
+const GITHUB_OP_NAMES: [&str; 10] = [
+    "push",
+    "pull_open",
+    "pull_close",
+    "delete",
+    "branch_create",
+    "branch_delete",
+    "fork",
+    "issue_open",
+    "issue_close",
+    "watch",
+];
+
+impl TextRecord for GithubEvent {
+    fn to_line(&self, out: &mut String) {
+        use std::fmt::Write;
+        format_datetime(self.timestamp, out);
+        let _ = write!(
+            out,
+            ",repo_{:08},{},actor_{:06},",
+            self.repo_id, GITHUB_OP_NAMES[self.op as usize], self.actor_id
+        );
+        filler(self.repo_id ^ self.actor_id, out);
+    }
+    fn parse_line(line: &str) -> Option<Self> {
+        let mut cols = line.split(',');
+        let timestamp = parse_datetime(cols.next()?)?;
+        let repo_id = cols.next()?.strip_prefix("repo_")?.parse().ok()?;
+        let op_name = cols.next()?;
+        let op_code = GITHUB_OP_NAMES.iter().position(|n| *n == op_name)? as u32;
+        let op = GithubOp::from_code(op_code)?;
+        let actor_id = cols.next()?.strip_prefix("actor_")?.parse().ok()?;
+        let _ = cols.next()?; // filler
+        Some(GithubEvent {
+            repo_id,
+            op,
+            timestamp,
+            actor_id,
+        })
+    }
+}
+
+impl TextRecord for BingQuery {
+    fn to_line(&self, out: &mut String) {
+        use std::fmt::Write;
+        format_datetime(self.timestamp, out);
+        let _ = write!(
+            out,
+            ",user_{:08},geo_{:03},{},q_{:016x},",
+            self.user_id,
+            self.geo,
+            if self.success { "ok" } else { "fail" },
+            self.query_hash
+        );
+        filler(self.user_id ^ self.query_hash, out);
+    }
+    fn parse_line(line: &str) -> Option<Self> {
+        let mut cols = line.split(',');
+        let timestamp = parse_datetime(cols.next()?)?;
+        let user_id = cols.next()?.strip_prefix("user_")?.parse().ok()?;
+        let geo = cols.next()?.strip_prefix("geo_")?.parse().ok()?;
+        let success = match cols.next()? {
+            "ok" => true,
+            "fail" => false,
+            _ => return None,
+        };
+        let query_hash = u64::from_str_radix(cols.next()?.strip_prefix("q_")?, 16).ok()?;
+        let _ = cols.next()?;
+        Some(BingQuery {
+            user_id,
+            geo,
+            timestamp,
+            success,
+            query_hash,
+        })
+    }
+}
+
+impl TextRecord for Tweet {
+    fn to_line(&self, out: &mut String) {
+        use std::fmt::Write;
+        format_datetime(self.timestamp, out);
+        let _ = write!(
+            out,
+            ",tag_{:08},user_{:08},{},",
+            self.hashtag_id,
+            self.user_id,
+            if self.is_spam { "spam" } else { "ham" }
+        );
+        filler(self.hashtag_id ^ self.user_id, out);
+    }
+    fn parse_line(line: &str) -> Option<Self> {
+        let mut cols = line.split(',');
+        let timestamp = parse_datetime(cols.next()?)?;
+        let hashtag_id = cols.next()?.strip_prefix("tag_")?.parse().ok()?;
+        let user_id = cols.next()?.strip_prefix("user_")?.parse().ok()?;
+        let is_spam = match cols.next()? {
+            "spam" => true,
+            "ham" => false,
+            _ => return None,
+        };
+        let _ = cols.next()?;
+        Some(Tweet {
+            hashtag_id,
+            user_id,
+            timestamp,
+            is_spam,
+        })
+    }
+}
+
+impl TextRecord for AdImpression {
+    fn to_line(&self, out: &mut String) {
+        use std::fmt::Write;
+        format_datetime(self.timestamp, out);
+        let _ = write!(
+            out,
+            ",adv_{:06},camp_{:04},cc_{:03},",
+            self.advertiser_id, self.campaign_id, self.country
+        );
+        filler(
+            u64::from(self.advertiser_id) ^ u64::from(self.campaign_id),
+            out,
+        );
+    }
+    fn parse_line(line: &str) -> Option<Self> {
+        let mut cols = line.split(',');
+        let timestamp = parse_datetime(cols.next()?)?;
+        let advertiser_id = cols.next()?.strip_prefix("adv_")?.parse().ok()?;
+        let campaign_id = cols.next()?.strip_prefix("camp_")?.parse().ok()?;
+        let country = cols.next()?.strip_prefix("cc_")?.parse().ok()?;
+        let _ = cols.next()?;
+        Some(AdImpression {
+            advertiser_id,
+            campaign_id,
+            timestamp,
+            country,
+        })
+    }
+}
+
+const WEB_KIND_NAMES: [&str; 4] = ["search", "review", "purchase", "other"];
+
+impl TextRecord for WebEvent {
+    fn to_line(&self, out: &mut String) {
+        use std::fmt::Write;
+        format_datetime(self.timestamp, out);
+        let _ = write!(
+            out,
+            ",user_{:08},{},item_{:08},",
+            self.user_id, WEB_KIND_NAMES[self.kind as usize], self.item_id
+        );
+        filler(self.user_id ^ self.item_id, out);
+    }
+    fn parse_line(line: &str) -> Option<Self> {
+        let mut cols = line.split(',');
+        let timestamp = parse_datetime(cols.next()?)?;
+        let user_id = cols.next()?.strip_prefix("user_")?.parse().ok()?;
+        let kind = match cols.next()? {
+            "search" => WebEventKind::Search,
+            "review" => WebEventKind::Review,
+            "purchase" => WebEventKind::Purchase,
+            "other" => WebEventKind::Other,
+            _ => return None,
+        };
+        let item_id = cols.next()?.strip_prefix("item_")?.parse().ok()?;
+        let _ = cols.next()?;
+        Some(WebEvent {
+            user_id,
+            kind,
+            item_id,
+            timestamp,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn datetime_roundtrip_known_values() {
+        let mut s = String::new();
+        format_datetime(0, &mut s);
+        assert_eq!(s, "1970-01-01 00:00:00");
+        s.clear();
+        format_datetime(1_420_070_400, &mut s);
+        assert_eq!(s, "2015-01-01 00:00:00");
+        assert_eq!(parse_datetime("2015-01-01 00:00:00"), Some(1_420_070_400));
+        assert_eq!(parse_datetime("1970-01-01 00:00:01"), Some(1));
+    }
+
+    #[test]
+    fn datetime_roundtrip_sweep() {
+        // Sweep across leap years, month ends and random offsets.
+        for base in [
+            0i64,
+            951_782_400,
+            1_330_000_000,
+            1_456_704_000,
+            4_102_444_800,
+        ] {
+            for off in [0i64, 1, 59, 3_600, 86_399, 86_400, 2_678_400, 31_536_000] {
+                let t = base + off;
+                let mut s = String::new();
+                format_datetime(t, &mut s);
+                assert_eq!(parse_datetime(&s), Some(t), "t={t} s={s}");
+            }
+        }
+    }
+
+    #[test]
+    fn datetime_rejects_malformed() {
+        for bad in [
+            "2015-01-01",
+            "2015/01/01 00:00:00",
+            "2015-13-01 00:00:00",
+            "2015-01-32 00:00:00",
+            "2015-01-01 24:00:00",
+            "2015-01-01 00:60:00",
+            "x015-01-01 00:00:00",
+        ] {
+            assert_eq!(parse_datetime(bad), None, "{bad}");
+        }
+    }
+
+    #[test]
+    fn github_line_roundtrip() {
+        let e = GithubEvent {
+            repo_id: 123,
+            op: GithubOp::BranchDelete,
+            timestamp: 1_400_000_000,
+            actor_id: 45,
+        };
+        let mut line = String::new();
+        e.to_line(&mut line);
+        assert_eq!(GithubEvent::parse_line(&line), Some(e));
+        assert!(line.contains("branch_delete"));
+        assert_eq!(GithubEvent::parse_line("garbage"), None);
+    }
+
+    #[test]
+    fn bing_line_roundtrip() {
+        let q = BingQuery {
+            user_id: 9,
+            geo: 44,
+            timestamp: 1_420_000_123,
+            success: false,
+            query_hash: 0xdead_beef,
+        };
+        let mut line = String::new();
+        q.to_line(&mut line);
+        assert_eq!(BingQuery::parse_line(&line), Some(q));
+        assert!(line.contains("fail"));
+    }
+
+    #[test]
+    fn tweet_line_roundtrip() {
+        let t = Tweet {
+            hashtag_id: 3,
+            user_id: 7,
+            timestamp: 1_430_000_042,
+            is_spam: true,
+        };
+        let mut line = String::new();
+        t.to_line(&mut line);
+        assert_eq!(Tweet::parse_line(&line), Some(t));
+    }
+
+    #[test]
+    fn impression_line_roundtrip() {
+        let i = AdImpression {
+            advertiser_id: 500,
+            campaign_id: 3,
+            timestamp: 1_410_000_999,
+            country: 12,
+        };
+        let mut line = String::new();
+        i.to_line(&mut line);
+        assert_eq!(AdImpression::parse_line(&line), Some(i));
+    }
+
+    #[test]
+    fn web_event_line_roundtrip() {
+        let e = WebEvent {
+            user_id: 1,
+            kind: WebEventKind::Purchase,
+            item_id: 2,
+            timestamp: 1_440_000_000,
+        };
+        let mut line = String::new();
+        e.to_line(&mut line);
+        assert_eq!(WebEvent::parse_line(&line), Some(e));
+    }
+
+    #[test]
+    fn to_lines_batch() {
+        let events = crate::generate_github(&crate::GithubConfig {
+            num_records: 200,
+            ..Default::default()
+        });
+        let lines = to_lines(&events);
+        assert_eq!(lines.len(), 200);
+        for (l, e) in lines.iter().zip(&events) {
+            assert_eq!(GithubEvent::parse_line(l).as_ref(), Some(e));
+        }
+    }
+}

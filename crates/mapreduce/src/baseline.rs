@@ -1,0 +1,256 @@
+//! The hand-optimized Hadoop baseline (§6.3 of the paper).
+//!
+//! "The groupby executes in the mapper while the UDA executes in the
+//! reducer. The groupby only emits fields of the input record that are
+//! used in the UDA." Every per-key event list crosses the shuffle encoded
+//! on the wire; the reducers decode, stitch the chunks in mapper order, and
+//! run the UDA sequentially.
+
+use symple_core::error::{Error, Result};
+use symple_core::uda::{run_sequential, Uda};
+use symple_core::wire::Wire;
+
+use crate::groupby::{group_segment, GroupBy};
+use crate::job::{JobConfig, JobOutput};
+use crate::metrics::JobMetrics;
+use crate::pool::run_tasks;
+use crate::segment::Segment;
+use crate::shuffle::partition_to_reducers;
+
+/// Runs a groupby-aggregate job the baseline way: UDA in the reducers.
+pub fn run_baseline<G, U>(
+    g: &G,
+    uda: &U,
+    segments: &[Segment<G::Record>],
+    cfg: &JobConfig,
+) -> Result<JobOutput<G::Key, U::Output>>
+where
+    G: GroupBy,
+    U: Uda<Event = G::Event>,
+    U::Output: Send,
+{
+    let mut metrics = JobMetrics {
+        input_records: segments.iter().map(|s| s.len() as u64).sum(),
+        input_bytes: segments.iter().map(|s| s.raw_bytes).sum(),
+        ..JobMetrics::default()
+    };
+
+    // Map phase: groupby + field projection; events encoded for shuffle.
+    type MapOut<K> = Vec<(K, Vec<u8>)>;
+    let (mapper_outputs, map_timing): (Vec<MapOut<G::Key>>, _) =
+        run_tasks(segments.iter().collect(), cfg.map_workers, |_, seg| {
+            let groups = group_segment(g, &seg.records);
+            groups
+                .into_iter()
+                .map(|(k, events)| (k, events.to_wire()))
+                .collect()
+        });
+    metrics.map_cpu = map_timing.cpu;
+    metrics.map_wall = map_timing.wall;
+    metrics.map_max_task = map_timing.max_task;
+
+    // Shuffle accounting: keys + encoded event lists.
+    for out in &mapper_outputs {
+        for (k, payload) in out {
+            metrics.shuffle_bytes += (k.wire_len() + payload.len()) as u64;
+            metrics.shuffle_records += 1;
+        }
+    }
+
+    // Reduce phase: decode, stitch in mapper order, run the UDA.
+    let reducer_inputs = partition_to_reducers(mapper_outputs, cfg.num_reducers);
+    let (reduce_results, reduce_timing) =
+        run_tasks(reducer_inputs, cfg.reduce_workers, |_, input| {
+            let mut out: Vec<(G::Key, U::Output)> = Vec::new();
+            for (key, chunks) in input {
+                let mut events: Vec<G::Event> = Vec::new();
+                for (_mapper, payload) in chunks {
+                    let mut rd = &payload[..];
+                    let decoded = Vec::<G::Event>::decode(&mut rd).map_err(Error::Wire)?;
+                    events.extend(decoded);
+                }
+                let result = run_sequential(uda, events.iter())?;
+                out.push((key, result));
+            }
+            Ok::<_, Error>(out)
+        });
+    metrics.reduce_cpu = reduce_timing.cpu;
+    metrics.reduce_wall = reduce_timing.wall;
+    metrics.reduce_max_task = reduce_timing.max_task;
+
+    let mut results = Vec::new();
+    for r in reduce_results {
+        results.extend(r?);
+    }
+    results.sort_by(|a, b| a.0.cmp(&b.0));
+    metrics.groups = results.len() as u64;
+    Ok(JobOutput { results, metrics })
+}
+
+/// Runs a groupby-aggregate job the way §6.2's **Local MapReduce**
+/// simulation does: each mapper emits one shuffle record *per input
+/// record* and sorts its output by key (the paper pipes mapper output
+/// through Unix `sort`, then `sort -m` merges per-key lists).
+///
+/// This is deliberately less optimized than [`run_baseline`] (which
+/// pre-groups events per key inside the mapper, as the hand-tuned EMR
+/// baseline does); it reproduces the shuffle-heavy cost profile Figure 4
+/// compares SYMPLE against.
+pub fn run_baseline_sorted<G, U>(
+    g: &G,
+    uda: &U,
+    segments: &[Segment<G::Record>],
+    cfg: &JobConfig,
+) -> Result<JobOutput<G::Key, U::Output>>
+where
+    G: GroupBy,
+    U: Uda<Event = G::Event>,
+    U::Output: Send,
+{
+    let mut metrics = JobMetrics {
+        input_records: segments.iter().map(|s| s.len() as u64).sum(),
+        input_bytes: segments.iter().map(|s| s.raw_bytes).sum(),
+        ..JobMetrics::default()
+    };
+
+    // Map phase: one (key, encoded event) pair per record, sorted by key.
+    type MapOut<K> = Vec<(K, Vec<u8>)>;
+    let (mapper_outputs, map_timing): (Vec<MapOut<G::Key>>, _) =
+        run_tasks(segments.iter().collect(), cfg.map_workers, |_, seg| {
+            let mut pairs = Vec::new();
+            let mut out: MapOut<G::Key> = Vec::with_capacity(seg.records.len());
+            for r in &seg.records {
+                pairs.clear();
+                g.extract_all(r, &mut pairs);
+                out.extend(pairs.drain(..).map(|(k, e)| (k, e.to_wire())));
+            }
+            // Stable sort keeps the per-key record order intact.
+            out.sort_by(|a, b| a.0.cmp(&b.0));
+            out
+        });
+    metrics.map_cpu = map_timing.cpu;
+    metrics.map_wall = map_timing.wall;
+    metrics.map_max_task = map_timing.max_task;
+
+    for out in &mapper_outputs {
+        for (k, payload) in out {
+            metrics.shuffle_bytes += (k.wire_len() + payload.len()) as u64;
+            metrics.shuffle_records += 1;
+        }
+    }
+
+    // Reduce: merge per-key event streams in mapper order, run the UDA.
+    let reducer_inputs = partition_to_reducers(mapper_outputs, cfg.num_reducers);
+    let (reduce_results, reduce_timing) =
+        run_tasks(reducer_inputs, cfg.reduce_workers, |_, input| {
+            let mut out: Vec<(G::Key, U::Output)> = Vec::new();
+            for (key, chunks) in input {
+                let mut events: Vec<G::Event> = Vec::with_capacity(chunks.len());
+                for (_mapper, payload) in chunks {
+                    let mut rd = &payload[..];
+                    events.push(G::Event::decode(&mut rd).map_err(Error::Wire)?);
+                }
+                out.push((key, run_sequential(uda, events.iter())?));
+            }
+            Ok::<_, Error>(out)
+        });
+    metrics.reduce_cpu = reduce_timing.cpu;
+    metrics.reduce_wall = reduce_timing.wall;
+    metrics.reduce_max_task = reduce_timing.max_task;
+
+    let mut results = Vec::new();
+    for r in reduce_results {
+        results.extend(r?);
+    }
+    results.sort_by(|a, b| a.0.cmp(&b.0));
+    metrics.groups = results.len() as u64;
+    Ok(JobOutput { results, metrics })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::segment::split_into_segments;
+    use symple_core::ctx::SymCtx;
+    use symple_core::impl_sym_state;
+    use symple_core::types::sym_int::SymInt;
+
+    struct ByMod3;
+    impl GroupBy for ByMod3 {
+        type Record = i64;
+        type Key = u8;
+        type Event = i64;
+        fn extract(&self, r: &i64) -> Option<(u8, i64)> {
+            Some(((r % 3) as u8, *r))
+        }
+    }
+
+    struct SumUda;
+    #[derive(Clone, Debug)]
+    struct SumState {
+        sum: SymInt,
+    }
+    impl_sym_state!(SumState { sum });
+    impl Uda for SumUda {
+        type State = SumState;
+        type Event = i64;
+        type Output = i64;
+        fn init(&self) -> SumState {
+            SumState {
+                sum: SymInt::new(0),
+            }
+        }
+        fn update(&self, s: &mut SumState, ctx: &mut SymCtx, e: &i64) {
+            s.sum.add(ctx, *e);
+        }
+        fn result(&self, s: &SumState, _ctx: &mut SymCtx) -> i64 {
+            s.sum.concrete_value().expect("concrete")
+        }
+    }
+
+    #[test]
+    fn baseline_sums_per_group() {
+        let records: Vec<i64> = (0..30).collect();
+        let segments = split_into_segments(&records, 4, 64);
+        let out = run_baseline(&ByMod3, &SumUda, &segments, &JobConfig::default()).unwrap();
+        assert_eq!(out.results.len(), 3);
+        for (k, sum) in &out.results {
+            let expect: i64 = (0..30).filter(|r| (r % 3) as u8 == *k).sum();
+            assert_eq!(*sum, expect);
+        }
+        assert_eq!(out.metrics.groups, 3);
+        assert_eq!(out.metrics.input_records, 30);
+        assert_eq!(out.metrics.input_bytes, 30 * 64);
+        assert!(out.metrics.shuffle_bytes > 0);
+        // Each of 4 mappers emits up to 3 keys.
+        assert!(out.metrics.shuffle_records <= 12);
+    }
+
+    #[test]
+    fn empty_job() {
+        let out = run_baseline(&ByMod3, &SumUda, &[], &JobConfig::default()).unwrap();
+        assert!(out.results.is_empty());
+        assert_eq!(out.metrics.shuffle_bytes, 0);
+    }
+
+    #[test]
+    fn single_reducer_matches_many() {
+        let records: Vec<i64> = (0..50).map(|i| i * 7 % 23).collect();
+        let segments = split_into_segments(&records, 5, 100);
+        let a = run_baseline(
+            &ByMod3,
+            &SumUda,
+            &segments,
+            &JobConfig::default().with_reducers(1),
+        )
+        .unwrap();
+        let b = run_baseline(
+            &ByMod3,
+            &SumUda,
+            &segments,
+            &JobConfig::default().with_reducers(8),
+        )
+        .unwrap();
+        assert_eq!(a.results, b.results);
+    }
+}

@@ -1,0 +1,192 @@
+//! Fault injection: crashed map attempts and their re-execution.
+//!
+//! MapReduce's fault-tolerance story (the paper inherits Hadoop's, §5.4)
+//! rests on tasks being deterministic: a failed attempt is simply run
+//! again, and the shuffle sees exactly the bytes the first attempt would
+//! have produced. SYMPLE adds a subtlety — map tasks perform symbolic
+//! exploration — so this module lets tests and demos *prove* that
+//! re-executed SYMPLE map tasks are byte-identical: inject failures,
+//! re-run, compare.
+
+use std::collections::HashSet;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use symple_core::error::Result;
+use symple_core::uda::Uda;
+
+use crate::groupby::GroupBy;
+use crate::job::{JobConfig, JobOutput};
+use crate::segment::Segment;
+use crate::symple_job::run_symple_inner;
+
+/// Declares which map attempts fail.
+///
+/// Attempt numbers are 1-based; a task fails while `(segment, attempt)`
+/// matches the plan, and succeeds on the next attempt.
+#[derive(Debug, Clone, Default)]
+pub struct FaultPlan {
+    /// Segment ids whose first attempt crashes (after doing the work).
+    pub fail_first_attempt: HashSet<usize>,
+    /// Segment ids whose first *two* attempts crash.
+    pub fail_twice: HashSet<usize>,
+}
+
+impl FaultPlan {
+    /// A plan failing the first attempt of the given segments.
+    pub fn fail_once(segments: impl IntoIterator<Item = usize>) -> FaultPlan {
+        FaultPlan {
+            fail_first_attempt: segments.into_iter().collect(),
+            fail_twice: HashSet::new(),
+        }
+    }
+}
+
+/// Injects the failures of a [`FaultPlan`] and counts re-executions.
+#[derive(Debug, Default)]
+pub struct FaultInjector {
+    plan: FaultPlan,
+    retries: AtomicU64,
+}
+
+impl FaultInjector {
+    /// Creates an injector for the plan.
+    pub fn new(plan: FaultPlan) -> FaultInjector {
+        FaultInjector {
+            plan,
+            retries: AtomicU64::new(0),
+        }
+    }
+
+    /// Whether this `(segment, attempt)` crashes. Counts the retry.
+    pub fn attempt_fails(&self, segment: usize, attempt: u32) -> bool {
+        let fails = match attempt {
+            1 => {
+                self.plan.fail_first_attempt.contains(&segment)
+                    || self.plan.fail_twice.contains(&segment)
+            }
+            2 => self.plan.fail_twice.contains(&segment),
+            _ => false,
+        };
+        if fails {
+            self.retries.fetch_add(1, Ordering::Relaxed);
+        }
+        fails
+    }
+
+    /// Re-executions triggered so far.
+    pub fn retries(&self) -> u64 {
+        self.retries.load(Ordering::Relaxed)
+    }
+}
+
+/// Runs the SYMPLE job with injected map-task failures.
+///
+/// Output is guaranteed identical to the failure-free [`crate::run_symple`]
+/// — the property the tests pin down.
+pub fn run_symple_with_faults<G, U>(
+    g: &G,
+    uda: &U,
+    segments: &[Segment<G::Record>],
+    cfg: &JobConfig,
+    injector: &FaultInjector,
+) -> Result<JobOutput<G::Key, U::Output>>
+where
+    G: GroupBy,
+    U: Uda<Event = G::Event>,
+    U::Output: Send,
+{
+    run_symple_inner(g, uda, segments, cfg, Some(injector))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::segment::split_into_segments;
+    use crate::symple_job::run_symple;
+    use symple_core::ctx::SymCtx;
+    use symple_core::impl_sym_state;
+    use symple_core::types::{sym_int::SymInt, sym_vector::SymVector};
+
+    struct ByMod;
+    impl GroupBy for ByMod {
+        type Record = i64;
+        type Key = u8;
+        type Event = i64;
+        fn extract(&self, r: &i64) -> Option<(u8, i64)> {
+            Some(((r % 5) as u8, *r))
+        }
+    }
+
+    struct SumsUda;
+    #[derive(Clone, Debug)]
+    struct SumState {
+        sum: SymInt,
+        peaks: SymVector<i64>,
+    }
+    impl_sym_state!(SumState { sum, peaks });
+    impl Uda for SumsUda {
+        type State = SumState;
+        type Event = i64;
+        type Output = (i64, Vec<i64>);
+        fn init(&self) -> SumState {
+            SumState {
+                sum: SymInt::new(0),
+                peaks: SymVector::new(),
+            }
+        }
+        fn update(&self, s: &mut SumState, ctx: &mut SymCtx, e: &i64) {
+            s.sum.add(ctx, *e);
+            if s.sum.gt(ctx, 500) {
+                s.peaks.push_int(&s.sum);
+                s.sum.assign(0);
+            }
+        }
+        fn result(&self, s: &SumState, _ctx: &mut SymCtx) -> (i64, Vec<i64>) {
+            (
+                s.sum.concrete_value().unwrap(),
+                s.peaks.concrete_elems().unwrap(),
+            )
+        }
+    }
+
+    #[test]
+    fn failed_attempts_do_not_change_results() {
+        let records: Vec<i64> = (0..2_000).map(|i| (i * 17 + 3) % 101).collect();
+        let segments = split_into_segments(&records, 6, 64);
+        let cfg = JobConfig::default();
+        let clean = run_symple(&ByMod, &SumsUda, &segments, &cfg).unwrap();
+
+        let injector = FaultInjector::new(FaultPlan::fail_once([0, 2, 5]));
+        let faulty = run_symple_with_faults(&ByMod, &SumsUda, &segments, &cfg, &injector).unwrap();
+        assert_eq!(injector.retries(), 3);
+        assert_eq!(clean.results, faulty.results);
+        assert_eq!(clean.metrics.shuffle_bytes, faulty.metrics.shuffle_bytes);
+        assert_eq!(
+            clean.metrics.shuffle_records,
+            faulty.metrics.shuffle_records
+        );
+    }
+
+    #[test]
+    fn double_failures_recover_too() {
+        let records: Vec<i64> = (0..900).map(|i| (i * 7) % 53).collect();
+        let segments = split_into_segments(&records, 4, 64);
+        let cfg = JobConfig::default();
+        let clean = run_symple(&ByMod, &SumsUda, &segments, &cfg).unwrap();
+        let plan = FaultPlan {
+            fail_twice: [1].into_iter().collect(),
+            ..Default::default()
+        };
+        let injector = FaultInjector::new(plan);
+        let faulty = run_symple_with_faults(&ByMod, &SumsUda, &segments, &cfg, &injector).unwrap();
+        assert_eq!(injector.retries(), 2);
+        assert_eq!(clean.results, faulty.results);
+    }
+
+    #[test]
+    fn empty_plan_is_free() {
+        let injector = FaultInjector::new(FaultPlan::default());
+        assert!(!injector.attempt_fails(0, 1));
+        assert_eq!(injector.retries(), 0);
+    }
+}

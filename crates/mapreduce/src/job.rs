@@ -1,0 +1,92 @@
+//! Job configuration and output.
+
+use symple_core::engine::EngineConfig;
+
+use crate::metrics::JobMetrics;
+
+/// How a SYMPLE reducer combines a key's summary chains (§3.6).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ReduceStrategy {
+    /// Apply each mapper's chain to the running concrete state, in order —
+    /// linear work in the number of chains, no cross products.
+    #[default]
+    ApplyInOrder,
+    /// Collapse all chains into one summary by balanced symbolic
+    /// composition first (the associativity of §3.6; tree-parallel in a
+    /// real deployment), then apply once.
+    TreeCompose,
+}
+
+/// Configuration for one groupby-aggregate job.
+#[derive(Debug, Clone, Copy)]
+pub struct JobConfig {
+    /// Number of reduce partitions (the paper sets this to the number of
+    /// machines on EMR and 50 on the 380-node cluster).
+    pub num_reducers: usize,
+    /// Worker threads executing map tasks.
+    pub map_workers: usize,
+    /// Worker threads executing reduce tasks.
+    pub reduce_workers: usize,
+    /// Symbolic-engine tuning (SYMPLE jobs only).
+    pub engine: EngineConfig,
+    /// How reducers combine summary chains.
+    pub reduce_strategy: ReduceStrategy,
+    /// Whether the globally first segment's mapper runs the UDA
+    /// *concretely* from the true initial state (Figure 2's "partial
+    /// aggregation"). Disable to force symbolic execution in every mapper,
+    /// as the single-machine overhead experiment of §6.2 does.
+    pub first_segment_concrete: bool,
+}
+
+impl Default for JobConfig {
+    fn default() -> JobConfig {
+        let cores = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(4);
+        JobConfig {
+            num_reducers: 4,
+            map_workers: cores,
+            reduce_workers: cores,
+            engine: EngineConfig::default(),
+            reduce_strategy: ReduceStrategy::default(),
+            first_segment_concrete: true,
+        }
+    }
+}
+
+impl JobConfig {
+    /// A config with `n` map workers (the paper's "N mappers" axis in
+    /// Figure 4).
+    pub fn with_map_workers(mut self, n: usize) -> JobConfig {
+        self.map_workers = n;
+        self
+    }
+
+    /// A config with `n` reduce partitions.
+    pub fn with_reducers(mut self, n: usize) -> JobConfig {
+        self.num_reducers = n;
+        self
+    }
+}
+
+/// The results and metrics of one executed job.
+#[derive(Debug, Clone)]
+pub struct JobOutput<K, O> {
+    /// Per-key aggregation outputs, sorted by key.
+    pub results: Vec<(K, O)>,
+    /// Phase metrics.
+    pub metrics: JobMetrics,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builders() {
+        let cfg = JobConfig::default().with_map_workers(2).with_reducers(7);
+        assert_eq!(cfg.map_workers, 2);
+        assert_eq!(cfg.num_reducers, 7);
+        assert!(cfg.reduce_workers >= 1);
+    }
+}

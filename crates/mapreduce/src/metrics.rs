@@ -1,0 +1,144 @@
+//! Per-phase job metrics: the raw quantities behind the paper's figures.
+//!
+//! * shuffle bytes / records → Figures 6 and 8;
+//! * per-phase CPU seconds → Figure 7;
+//! * wall-clock phase times + input bytes → the throughput and latency
+//!   models of Figures 4 and 5.
+
+use std::time::Duration;
+
+use symple_core::engine::ExploreStats;
+
+/// Metrics for one executed job.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct JobMetrics {
+    /// Records read from input segments.
+    pub input_records: u64,
+    /// Raw storage bytes those records represent.
+    pub input_bytes: u64,
+    /// Wall-clock duration of the map phase (parallel).
+    pub map_wall: Duration,
+    /// Summed busy time of all map tasks ("CPU seconds").
+    pub map_cpu: Duration,
+    /// Longest single map task.
+    pub map_max_task: Duration,
+    /// Longest single reduce task (bounds reduce parallelism under skew).
+    pub reduce_max_task: Duration,
+    /// Bytes crossing the map→reduce shuffle (keys + payloads, encoded).
+    pub shuffle_bytes: u64,
+    /// Shuffle records (one per (key, mapper) pair that emitted data).
+    pub shuffle_records: u64,
+    /// Wall-clock duration of the reduce phase (parallel).
+    pub reduce_wall: Duration,
+    /// Summed busy time of all reduce tasks.
+    pub reduce_cpu: Duration,
+    /// Number of distinct groups.
+    pub groups: u64,
+    /// Aggregated symbolic-exploration statistics (SYMPLE jobs only).
+    pub explore: ExploreStats,
+}
+
+impl JobMetrics {
+    /// Total CPU seconds across phases.
+    pub fn total_cpu(&self) -> Duration {
+        self.map_cpu + self.reduce_cpu
+    }
+
+    /// Total wall-clock across phases (map and reduce barriers).
+    pub fn total_wall(&self) -> Duration {
+        self.map_wall + self.reduce_wall
+    }
+
+    /// End-to-end throughput over the raw input, in MB/s.
+    pub fn throughput_mb_s(&self) -> f64 {
+        let secs = self.total_wall().as_secs_f64();
+        if secs == 0.0 {
+            return 0.0;
+        }
+        (self.input_bytes as f64 / 1.0e6) / secs
+    }
+
+    /// Wall time a perfectly scheduled run would take with the given
+    /// parallelism, derived from measured per-task CPU.
+    ///
+    /// Each phase is bounded below by its longest single task (a reducer
+    /// holding one huge group cannot be split). Used to *model* multi-core
+    /// scaling when the measuring host has fewer cores than the
+    /// configuration under study — the substitution DESIGN.md documents.
+    pub fn modeled_wall(&self, map_workers: usize, reduce_workers: usize) -> Duration {
+        let map = self
+            .map_cpu
+            .div_f64(map_workers.max(1) as f64)
+            .max(self.map_max_task);
+        let reduce = self
+            .reduce_cpu
+            .div_f64(reduce_workers.max(1) as f64)
+            .max(self.reduce_max_task);
+        map + reduce
+    }
+
+    /// [`JobMetrics::throughput_mb_s`] under [`JobMetrics::modeled_wall`].
+    pub fn modeled_throughput_mb_s(&self, map_workers: usize, reduce_workers: usize) -> f64 {
+        let secs = self.modeled_wall(map_workers, reduce_workers).as_secs_f64();
+        if secs == 0.0 {
+            return 0.0;
+        }
+        (self.input_bytes as f64 / 1.0e6) / secs
+    }
+
+    /// Accumulates exploration stats from one map task.
+    pub fn absorb_explore(&mut self, s: ExploreStats) {
+        self.explore.records += s.records;
+        self.explore.runs += s.runs;
+        self.explore.forks += s.forks;
+        self.explore.merges += s.merges;
+        self.explore.restarts += s.restarts;
+        self.explore.max_live_paths = self.explore.max_live_paths.max(s.max_live_paths);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn totals() {
+        let m = JobMetrics {
+            map_cpu: Duration::from_secs(2),
+            reduce_cpu: Duration::from_secs(1),
+            map_wall: Duration::from_secs(1),
+            reduce_wall: Duration::from_millis(500),
+            input_bytes: 3_000_000,
+            ..JobMetrics::default()
+        };
+        assert_eq!(m.total_cpu(), Duration::from_secs(3));
+        assert_eq!(m.total_wall(), Duration::from_millis(1500));
+        assert!((m.throughput_mb_s() - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn throughput_zero_wall() {
+        let m = JobMetrics::default();
+        assert_eq!(m.throughput_mb_s(), 0.0);
+    }
+
+    #[test]
+    fn absorb_explore_accumulates() {
+        let mut m = JobMetrics::default();
+        m.absorb_explore(ExploreStats {
+            records: 5,
+            runs: 9,
+            max_live_paths: 3,
+            ..Default::default()
+        });
+        m.absorb_explore(ExploreStats {
+            records: 2,
+            runs: 2,
+            max_live_paths: 2,
+            ..Default::default()
+        });
+        assert_eq!(m.explore.records, 7);
+        assert_eq!(m.explore.runs, 11);
+        assert_eq!(m.explore.max_live_paths, 3);
+    }
+}

@@ -1,0 +1,128 @@
+//! A minimal scoped worker pool for running map/reduce tasks in parallel.
+//!
+//! Tasks are pulled from a shared atomic cursor so long-running tasks do
+//! not serialize behind short ones; results are written back by index so
+//! output order is deterministic regardless of scheduling.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::time::{Duration, Instant};
+
+use parking_lot::Mutex;
+
+/// The outcome of one pool phase.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct PhaseTiming {
+    /// Summed busy time of all tasks (the phase's "CPU seconds").
+    pub cpu: Duration,
+    /// Actual wall time of the phase on this host.
+    pub wall: Duration,
+    /// The longest single task — the lower bound on any parallel schedule.
+    pub max_task: Duration,
+}
+
+/// Runs `f(index, item)` over all items using up to `workers` threads,
+/// returning the results in input order plus the phase timing.
+///
+/// The thread count is additionally clamped to the host's available
+/// parallelism: oversubscribing cores would time-share tasks and inflate
+/// their measured busy time, corrupting the CPU accounting that the
+/// cluster models extrapolate from.
+pub fn run_tasks<T, R, F>(items: Vec<T>, workers: usize, f: F) -> (Vec<R>, PhaseTiming)
+where
+    T: Send,
+    R: Send,
+    F: Fn(usize, T) -> R + Sync,
+{
+    let n = items.len();
+    let host = std::thread::available_parallelism()
+        .map(|p| p.get())
+        .unwrap_or(1);
+    let workers = workers.clamp(1, n.max(1)).min(host);
+    let wall_start = Instant::now();
+    let slots: Vec<Mutex<Option<T>>> = items.into_iter().map(|t| Mutex::new(Some(t))).collect();
+    let results: Vec<Mutex<Option<R>>> = (0..n).map(|_| Mutex::new(None)).collect();
+    let cursor = AtomicUsize::new(0);
+    let cpu_nanos = AtomicUsize::new(0);
+    let max_task_nanos = AtomicUsize::new(0);
+
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|| {
+                let mut busy = Duration::ZERO;
+                let mut longest = Duration::ZERO;
+                loop {
+                    let i = cursor.fetch_add(1, Ordering::Relaxed);
+                    if i >= n {
+                        break;
+                    }
+                    let item = slots[i].lock().take().expect("task taken once");
+                    let start = Instant::now();
+                    let r = f(i, item);
+                    let took = start.elapsed();
+                    busy += took;
+                    longest = longest.max(took);
+                    *results[i].lock() = Some(r);
+                }
+                cpu_nanos.fetch_add(busy.as_nanos() as usize, Ordering::Relaxed);
+                max_task_nanos.fetch_max(longest.as_nanos() as usize, Ordering::Relaxed);
+            });
+        }
+    });
+
+    let timing = PhaseTiming {
+        cpu: Duration::from_nanos(cpu_nanos.load(Ordering::Relaxed) as u64),
+        wall: wall_start.elapsed(),
+        max_task: Duration::from_nanos(max_task_nanos.load(Ordering::Relaxed) as u64),
+    };
+    let out = results
+        .into_iter()
+        .map(|m| m.into_inner().expect("task completed"))
+        .collect();
+    (out, timing)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn results_in_input_order() {
+        let items: Vec<usize> = (0..100).collect();
+        let (out, t) = run_tasks(items, 4, |i, x| {
+            assert_eq!(i, x);
+            x * 2
+        });
+        assert_eq!(out, (0..100).map(|x| x * 2).collect::<Vec<_>>());
+        assert!(t.cpu >= t.max_task);
+        assert!(t.wall >= Duration::ZERO);
+    }
+
+    #[test]
+    fn single_worker_and_empty() {
+        let (out, _) = run_tasks(vec![1, 2, 3], 1, |_, x| x + 1);
+        assert_eq!(out, vec![2, 3, 4]);
+        let (out, _) = run_tasks(Vec::<i32>::new(), 4, |_, x| x);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn more_workers_than_tasks() {
+        let (out, t) = run_tasks(vec![5], 16, |_, x| x);
+        assert_eq!(out, vec![5]);
+        assert!(t.max_task <= t.cpu);
+    }
+
+    #[test]
+    fn cpu_time_accumulates_busy_work() {
+        let items: Vec<u64> = vec![200_000; 8];
+        let (_, t) = run_tasks(items, 4, |_, n| {
+            let mut acc = 0u64;
+            for i in 0..n {
+                acc = acc.wrapping_add(i * i);
+            }
+            acc
+        });
+        assert!(t.cpu > Duration::ZERO);
+        assert!(t.max_task > Duration::ZERO);
+    }
+}

@@ -1,0 +1,117 @@
+//! The shuffle: deterministic key partitioning and order-preserving
+//! regrouping (§5.4 of the paper).
+//!
+//! SYMPLE tags every shuffled record with `(mapper_id, record_id)` so that
+//! the reduce phase can re-order per-key payloads "according to their order
+//! in the input data". Here mappers are processed as whole segments, so the
+//! mapper id alone fixes the order (a mapper's internal order is preserved
+//! inside its payload).
+
+use std::collections::BTreeMap;
+
+use crate::groupby::Key;
+
+/// Stable 64-bit FNV-1a hash over a key's wire encoding.
+///
+/// The standard library hasher is randomized per process; shuffles must be
+/// deterministic so that re-executed (failed) map tasks land payloads on
+/// the same reducers.
+pub fn stable_hash<K: Key>(key: &K) -> u64 {
+    let bytes = key.to_wire();
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// The reducer a key is routed to.
+pub fn partition<K: Key>(key: &K, num_reducers: usize) -> usize {
+    (stable_hash(key) % num_reducers.max(1) as u64) as usize
+}
+
+/// One reducer's input: per key, the payloads of every mapper that emitted
+/// for that key, ordered by mapper id.
+pub type ReducerInput<K, P> = BTreeMap<K, Vec<(usize, P)>>;
+
+/// Routes mapper outputs to reducers.
+///
+/// `mapper_outputs[m]` is mapper `m`'s emitted `(key, payload)` list.
+/// Within each key the payloads keep ascending mapper order — the shuffle
+/// sort the paper implements with lexicographic `(mapper_id, record_id)`
+/// keys.
+pub fn partition_to_reducers<K: Key, P>(
+    mapper_outputs: Vec<Vec<(K, P)>>,
+    num_reducers: usize,
+) -> Vec<ReducerInput<K, P>> {
+    let mut reducers: Vec<ReducerInput<K, P>> =
+        (0..num_reducers.max(1)).map(|_| BTreeMap::new()).collect();
+    for (mapper_id, out) in mapper_outputs.into_iter().enumerate() {
+        for (key, payload) in out {
+            let r = partition(&key, num_reducers);
+            reducers[r]
+                .entry(key)
+                .or_default()
+                .push((mapper_id, payload));
+        }
+    }
+    reducers
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hash_is_deterministic_across_calls() {
+        let a = stable_hash(&42u64);
+        let b = stable_hash(&42u64);
+        assert_eq!(a, b);
+        assert_ne!(stable_hash(&1u64), stable_hash(&2u64));
+    }
+
+    #[test]
+    fn partition_in_range() {
+        for k in 0..1000u64 {
+            assert!(partition(&k, 7) < 7);
+        }
+        assert_eq!(partition(&5u64, 0), 0, "zero reducers clamps to one");
+    }
+
+    #[test]
+    fn partition_spreads_keys() {
+        let mut counts = [0usize; 8];
+        for k in 0..10_000u64 {
+            counts[partition(&k, 8)] += 1;
+        }
+        for c in counts {
+            assert!(c > 500, "badly skewed partitioning: {counts:?}");
+        }
+    }
+
+    #[test]
+    fn regroup_orders_by_mapper() {
+        let outputs = vec![
+            vec![("k".to_string(), 100)],
+            vec![("k".to_string(), 200), ("j".to_string(), 1)],
+            vec![("k".to_string(), 300)],
+        ];
+        let reducers = partition_to_reducers(outputs, 3);
+        let all: Vec<_> = reducers.iter().flat_map(|r| r.iter()).collect();
+        assert_eq!(all.len(), 2);
+        let k_entry = reducers
+            .iter()
+            .find_map(|r| r.get("k"))
+            .expect("key k present");
+        assert_eq!(k_entry, &vec![(0, 100), (1, 200), (2, 300)]);
+    }
+
+    #[test]
+    fn same_key_lands_on_one_reducer() {
+        let outputs = vec![vec![(7u64, 1)], vec![(7u64, 2)]];
+        let reducers = partition_to_reducers(outputs, 4);
+        let populated: Vec<_> = reducers.iter().filter(|r| !r.is_empty()).collect();
+        assert_eq!(populated.len(), 1);
+    }
+}

@@ -1,0 +1,303 @@
+//! Streaming SYMPLE execution: mappers push summary chains to reducers
+//! through channels as soon as each key's chunk is summarized, overlapping
+//! the map and reduce phases the way a real Hadoop shuffle streams map
+//! output while later map tasks still run.
+//!
+//! Ordering is preserved exactly as §5.4 requires: each emission carries
+//! its mapper id, and a reducer buffers per-key chains in a mapper-ordered
+//! map, applying them in order once every mapper has finished. Because
+//! summary-chain concatenation is associative, a reducer could also
+//! compose adjacent chains incrementally; the final application is
+//! equivalent and simpler.
+
+use std::collections::BTreeMap;
+use std::time::Instant;
+
+use crossbeam::channel;
+
+use symple_core::compose::apply_chain;
+use symple_core::engine::{ExploreStats, SymbolicExecutor};
+use symple_core::error::{Error, Result};
+use symple_core::summary::{Summary, SummaryChain};
+use symple_core::uda::{extract_result, run_concrete_state, Uda};
+use symple_core::wire::Wire;
+
+use crate::groupby::{group_segment, GroupBy};
+use crate::job::{JobConfig, JobOutput};
+use crate::metrics::JobMetrics;
+use crate::segment::Segment;
+use crate::shuffle::partition;
+
+/// What one reducer thread returns: its results plus byte/record counts.
+type ReducerOut<K, O> = (Vec<(K, O)>, u64, u64);
+
+/// One emission flowing through the shuffle channel.
+struct Emission<K> {
+    mapper_id: usize,
+    key: K,
+    payload: Vec<u8>,
+}
+
+/// Runs the SYMPLE job with a streaming shuffle: mappers and reducers
+/// execute concurrently, connected by bounded channels.
+pub fn run_symple_streaming<G, U>(
+    g: &G,
+    uda: &U,
+    segments: &[Segment<G::Record>],
+    cfg: &JobConfig,
+) -> Result<JobOutput<G::Key, U::Output>>
+where
+    G: GroupBy,
+    U: Uda<Event = G::Event>,
+    U::Output: Send,
+{
+    let start = Instant::now();
+    let mut metrics = JobMetrics {
+        input_records: segments.iter().map(|s| s.len() as u64).sum(),
+        input_bytes: segments.iter().map(|s| s.raw_bytes).sum(),
+        ..JobMetrics::default()
+    };
+
+    let num_reducers = cfg.num_reducers.max(1);
+    let mut senders = Vec::with_capacity(num_reducers);
+    let mut receivers = Vec::with_capacity(num_reducers);
+    for _ in 0..num_reducers {
+        // Bounded channels provide the back-pressure a real shuffle has.
+        let (tx, rx) = channel::bounded::<Emission<G::Key>>(1024);
+        senders.push(tx);
+        receivers.push(rx);
+    }
+
+    let template = uda.init();
+    let results = std::thread::scope(|scope| -> Result<Vec<(G::Key, U::Output)>> {
+        // Reducers: consume until all senders hang up.
+        let reducer_handles: Vec<_> = receivers
+            .into_iter()
+            .map(|rx| {
+                let template = &template;
+                scope.spawn(move || -> Result<ReducerOut<G::Key, U::Output>> {
+                    let mut buffered: BTreeMap<G::Key, BTreeMap<usize, Vec<u8>>> = BTreeMap::new();
+                    let mut bytes = 0u64;
+                    let mut records = 0u64;
+                    for emission in rx {
+                        bytes += (emission.key.wire_len() + emission.payload.len()) as u64;
+                        records += 1;
+                        buffered
+                            .entry(emission.key)
+                            .or_default()
+                            .insert(emission.mapper_id, emission.payload);
+                    }
+                    // All mappers done: apply chains in mapper order.
+                    let mut out = Vec::with_capacity(buffered.len());
+                    for (key, chunks) in buffered {
+                        let mut state = template.clone();
+                        for (_mapper, payload) in chunks {
+                            let mut rd = &payload[..];
+                            let chain = SummaryChain::<U::State>::decode(template, &mut rd)
+                                .map_err(Error::Wire)?;
+                            state = apply_chain(&chain, &state)?;
+                        }
+                        out.push((key, extract_result(uda, &state)?));
+                    }
+                    Ok((out, bytes, records))
+                })
+            })
+            .collect();
+
+        // Mappers: a simple static partition of segments over workers.
+        let workers = cfg.map_workers.clamp(1, segments.len().max(1));
+        let mapper_handles: Vec<_> = (0..workers)
+            .map(|w| {
+                let senders = senders.clone();
+                scope.spawn(move || -> Result<ExploreStats> {
+                    let mut stats = ExploreStats::default();
+                    for seg in segments.iter().skip(w).step_by(workers) {
+                        map_stream(g, uda, seg, cfg, &senders, &mut stats)?;
+                    }
+                    Ok(stats)
+                })
+            })
+            .collect();
+        // Drop our copies so reducers see hang-up once mappers finish.
+        drop(senders);
+
+        let mut explore = ExploreStats::default();
+        let mut map_err = None;
+        for h in mapper_handles {
+            match h.join().expect("mapper thread panicked") {
+                Ok(s) => {
+                    explore.records += s.records;
+                    explore.runs += s.runs;
+                    explore.forks += s.forks;
+                    explore.merges += s.merges;
+                    explore.restarts += s.restarts;
+                    explore.max_live_paths = explore.max_live_paths.max(s.max_live_paths);
+                }
+                Err(e) => map_err = Some(e),
+            }
+        }
+        metrics.absorb_explore(explore);
+
+        let mut results = Vec::new();
+        for h in reducer_handles {
+            let (out, bytes, records) = h.join().expect("reducer thread panicked")?;
+            results.extend(out);
+            metrics.shuffle_bytes += bytes;
+            metrics.shuffle_records += records;
+        }
+        if let Some(e) = map_err {
+            return Err(e);
+        }
+        Ok(results)
+    });
+    let mut results = results?;
+    results.sort_by(|a, b| a.0.cmp(&b.0));
+    metrics.groups = results.len() as u64;
+    let wall = start.elapsed();
+    // Phases overlap; attribute the whole wall to the map slot and leave
+    // reduce at zero so total_wall stays meaningful.
+    metrics.map_wall = wall;
+    metrics.map_cpu = wall;
+    Ok(JobOutput { results, metrics })
+}
+
+/// Maps one segment, streaming each key's chain as soon as it completes.
+fn map_stream<G, U>(
+    g: &G,
+    uda: &U,
+    seg: &Segment<G::Record>,
+    cfg: &JobConfig,
+    senders: &[channel::Sender<Emission<G::Key>>],
+    stats: &mut ExploreStats,
+) -> Result<()>
+where
+    G: GroupBy,
+    U: Uda<Event = G::Event>,
+{
+    let groups = group_segment(g, &seg.records);
+    for (key, events) in groups {
+        let chain: SummaryChain<U::State> = if seg.id == 0 && cfg.first_segment_concrete {
+            SummaryChain::single(Summary::singleton(run_concrete_state(uda, events.iter())?))
+        } else {
+            let mut exec = SymbolicExecutor::new(uda, cfg.engine);
+            exec.feed_all(events.iter())?;
+            let (chain, s) = exec.finish();
+            stats.records += s.records;
+            stats.runs += s.runs;
+            stats.forks += s.forks;
+            stats.merges += s.merges;
+            stats.restarts += s.restarts;
+            stats.max_live_paths = stats.max_live_paths.max(s.max_live_paths);
+            chain
+        };
+        let mut payload = Vec::new();
+        chain.encode(&mut payload);
+        let r = partition(&key, senders.len());
+        senders[r]
+            .send(Emission {
+                mapper_id: seg.id,
+                key,
+                payload,
+            })
+            .map_err(|_| Error::Uda("reducer hung up".into()))?;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::segment::split_into_segments;
+    use crate::symple_job::run_symple;
+    use symple_core::ctx::SymCtx;
+    use symple_core::impl_sym_state;
+    use symple_core::types::{sym_int::SymInt, sym_pred::SymPred, sym_vector::SymVector};
+
+    struct ByMod;
+    impl GroupBy for ByMod {
+        type Record = i64;
+        type Key = u8;
+        type Event = i64;
+        fn extract(&self, r: &i64) -> Option<(u8, i64)> {
+            Some(((r % 7) as u8, *r))
+        }
+    }
+
+    struct RunsUda;
+    #[derive(Clone, Debug)]
+    struct RunsState {
+        len: SymInt,
+        prev: SymPred<i64>,
+        out: SymVector<i64>,
+    }
+    impl_sym_state!(RunsState { len, prev, out });
+    impl Uda for RunsUda {
+        type State = RunsState;
+        type Event = i64;
+        type Output = Vec<i64>;
+        fn init(&self) -> RunsState {
+            RunsState {
+                len: SymInt::new(0),
+                prev: SymPred::new(|p: &i64, c: &i64| c > p),
+                out: SymVector::new(),
+            }
+        }
+        fn update(&self, s: &mut RunsState, ctx: &mut SymCtx, e: &i64) {
+            if s.prev.eval(ctx, e) {
+                s.len += 1;
+            } else {
+                if s.len.ge(ctx, 2) {
+                    s.out.push_int(&s.len);
+                }
+                s.len.assign(1);
+            }
+            s.prev.set(*e);
+        }
+        fn result(&self, s: &RunsState, _ctx: &mut SymCtx) -> Vec<i64> {
+            s.out.concrete_elems().expect("concrete")
+        }
+    }
+
+    #[test]
+    fn streaming_matches_batch() {
+        let records: Vec<i64> = (0..2_000).map(|i| (i * 31 + 5) % 211).collect();
+        let segments = split_into_segments(&records, 7, 128);
+        let cfg = JobConfig::default();
+        let batch = run_symple(&ByMod, &RunsUda, &segments, &cfg).unwrap();
+        let streaming = run_symple_streaming(&ByMod, &RunsUda, &segments, &cfg).unwrap();
+        assert_eq!(batch.results, streaming.results);
+        assert_eq!(batch.metrics.shuffle_bytes, streaming.metrics.shuffle_bytes);
+        assert_eq!(
+            batch.metrics.shuffle_records,
+            streaming.metrics.shuffle_records
+        );
+    }
+
+    #[test]
+    fn streaming_single_reducer_and_many() {
+        let records: Vec<i64> = (0..800).map(|i| (i * 13) % 97).collect();
+        let segments = split_into_segments(&records, 4, 64);
+        let one = run_symple_streaming(
+            &ByMod,
+            &RunsUda,
+            &segments,
+            &JobConfig::default().with_reducers(1),
+        )
+        .unwrap();
+        let many = run_symple_streaming(
+            &ByMod,
+            &RunsUda,
+            &segments,
+            &JobConfig::default().with_reducers(11),
+        )
+        .unwrap();
+        assert_eq!(one.results, many.results);
+    }
+
+    #[test]
+    fn streaming_empty_input() {
+        let out = run_symple_streaming(&ByMod, &RunsUda, &[], &JobConfig::default()).unwrap();
+        assert!(out.results.is_empty());
+        assert_eq!(out.metrics.shuffle_records, 0);
+    }
+}

@@ -1,0 +1,356 @@
+//! Queries B1–B3 over the Bing query-log dataset (Table 1).
+//!
+//! B1 is the paper's extreme case: a *single group*, so symbolic
+//! parallelism is the only parallelism available — the query where the
+//! baseline took 4.5 hours and SYMPLE 5.5 minutes (§6.4).
+
+use symple_core::ctx::SymCtx;
+use symple_core::impl_sym_state;
+use symple_core::types::{sym_int::SymInt, sym_pred::SymPred, sym_vector::SymVector};
+use symple_core::uda::Uda;
+use symple_datagen::BingQuery;
+use symple_mapreduce::GroupBy;
+
+/// The outage threshold: "more than 2 minutes" (§6.1).
+pub const OUTAGE_GAP_S: i64 = 120;
+/// The session threshold: "< 2 minutes between queries" (B3).
+pub const SESSION_GAP_S: i64 = 120;
+
+/// Builds the windowed gap predicate `cur − prev < bound`.
+fn gap_pred(bound: i64) -> SymPred<i64> {
+    SymPred::new(move |prev: &i64, cur: &i64| cur - prev < bound).with_initial_outcome(true)
+}
+
+/// Outage-detection state shared by B1, B2 and R3: the previous "healthy"
+/// timestamp and the reported `(outage_start, duration)` pairs, flattened.
+#[derive(Clone, Debug)]
+pub struct OutageState {
+    /// Previous value, held through a black-box predicate.
+    pub prev: SymPred<i64>,
+    /// Reported results.
+    pub out: SymVector<i64>,
+}
+impl_sym_state!(OutageState { prev, out });
+
+/// A UDA reporting gaps larger than `bound` seconds between consecutive
+/// events: pushes `start_ts` then `gap_len` for each detected gap.
+pub struct GapUda {
+    bound: i64,
+}
+
+impl GapUda {
+    /// A gap detector with the given threshold.
+    pub fn new(bound: i64) -> GapUda {
+        GapUda { bound }
+    }
+}
+
+impl Uda for GapUda {
+    type State = OutageState;
+    type Event = i64;
+    type Output = Vec<i64>;
+    fn init(&self) -> OutageState {
+        OutageState {
+            prev: gap_pred(self.bound),
+            out: SymVector::new(),
+        }
+    }
+    fn update(&self, s: &mut OutageState, ctx: &mut SymCtx, ts: &i64) {
+        if !s.prev.eval(ctx, ts) {
+            // Gap exceeded: the outage started at the previous healthy
+            // timestamp and lasted `ts − prev`.
+            if let Some(start) = s.prev.affine_scalar(1, 0) {
+                s.out.push_scalar(start);
+            }
+            if let Some(gap) = s.prev.affine_scalar(-1, *ts) {
+                s.out.push_scalar(gap);
+            }
+        }
+        s.prev.set(*ts);
+    }
+    fn result(&self, s: &OutageState, _ctx: &mut SymCtx) -> Vec<i64> {
+        s.out.concrete_elems().expect("concrete at result time")
+    }
+}
+
+/// Plain-Rust gap-detection reference over a timestamp stream.
+pub fn reference_gaps(timestamps: &[i64], bound: i64) -> Vec<i64> {
+    let mut out = Vec::new();
+    let mut prev: Option<i64> = None;
+    for ts in timestamps {
+        if let Some(p) = prev {
+            if ts - p >= bound {
+                out.push(p);
+                out.push(ts - p);
+            }
+        }
+        prev = Some(*ts);
+    }
+    out
+}
+
+// ---------------------------------------------------------------- B1 ----
+
+/// B1 groupby: all successful queries into a single group.
+pub struct B1Group;
+
+impl GroupBy for B1Group {
+    type Record = BingQuery;
+    type Key = u8;
+    type Event = i64;
+    fn extract(&self, r: &BingQuery) -> Option<(u8, i64)> {
+        r.success.then_some((0, r.timestamp))
+    }
+}
+
+/// B1: "Outages: more than 2 minutes with no successful query by any
+/// user." One group; symbolic parallelism is the only parallelism.
+pub fn b1_uda() -> GapUda {
+    GapUda::new(OUTAGE_GAP_S)
+}
+
+/// Plain-Rust reference for B1.
+pub fn reference_b1(records: &[BingQuery]) -> Vec<(u8, Vec<i64>)> {
+    let ts: Vec<i64> = records
+        .iter()
+        .filter(|r| r.success)
+        .map(|r| r.timestamp)
+        .collect();
+    if ts.is_empty() {
+        return Vec::new();
+    }
+    vec![(0, reference_gaps(&ts, OUTAGE_GAP_S))]
+}
+
+// ---------------------------------------------------------------- B2 ----
+
+/// B2 groupby: successful queries grouped by geographic area.
+pub struct B2Group;
+
+impl GroupBy for B2Group {
+    type Record = BingQuery;
+    type Key = u32;
+    type Event = i64;
+    fn extract(&self, r: &BingQuery) -> Option<(u32, i64)> {
+        r.success.then_some((r.geo, r.timestamp))
+    }
+}
+
+/// B2: "Outages per geographic area of the query (local outages)."
+pub fn b2_uda() -> GapUda {
+    GapUda::new(OUTAGE_GAP_S)
+}
+
+/// Plain-Rust reference for B2.
+pub fn reference_b2(records: &[BingQuery]) -> Vec<(u32, Vec<i64>)> {
+    let mut per_geo: std::collections::HashMap<u32, Vec<i64>> = std::collections::HashMap::new();
+    for r in records.iter().filter(|r| r.success) {
+        per_geo.entry(r.geo).or_default().push(r.timestamp);
+    }
+    let mut v: Vec<_> = per_geo
+        .into_iter()
+        .map(|(g, ts)| (g, reference_gaps(&ts, OUTAGE_GAP_S)))
+        .collect();
+    v.sort();
+    v
+}
+
+// ---------------------------------------------------------------- B3 ----
+
+/// B3 groupby: every query, grouped by user.
+pub struct B3Group;
+
+impl GroupBy for B3Group {
+    type Record = BingQuery;
+    type Key = u64;
+    type Event = i64;
+    fn extract(&self, r: &BingQuery) -> Option<(u64, i64)> {
+        Some((r.user_id, r.timestamp))
+    }
+}
+
+/// B3: "Number of queries in a session per user (< 2 minutes between
+/// queries)" — the paper's windowed-dependence pattern (§4.4).
+pub struct B3Uda;
+
+/// B3 state: session length, previous query time, reported lengths.
+#[derive(Clone, Debug)]
+pub struct B3State {
+    /// Running count.
+    pub count: SymInt,
+    /// Previous value, held through a black-box predicate.
+    pub prev: SymPred<i64>,
+    /// Reported counts.
+    pub counts: SymVector<i64>,
+}
+impl_sym_state!(B3State {
+    count,
+    prev,
+    counts
+});
+
+impl Uda for B3Uda {
+    type State = B3State;
+    type Event = i64;
+    type Output = Vec<i64>;
+    fn init(&self) -> B3State {
+        B3State {
+            count: SymInt::new(0),
+            prev: SymPred::new(|prev: &i64, cur: &i64| cur - prev < SESSION_GAP_S),
+            counts: SymVector::new(),
+        }
+    }
+    fn update(&self, s: &mut B3State, ctx: &mut SymCtx, ts: &i64) {
+        if s.prev.eval(ctx, ts) {
+            s.count += 1;
+        } else {
+            // Session break: report the finished session (if any) and
+            // start a new one. Like the paper's CountEventsInSessions,
+            // the final session is reported only at its break.
+            if s.count.gt(ctx, 0) {
+                s.counts.push_int(&s.count);
+            }
+            s.count.assign(1);
+        }
+        s.prev.set(*ts);
+    }
+    fn result(&self, s: &B3State, _ctx: &mut SymCtx) -> Vec<i64> {
+        s.counts.concrete_elems().expect("concrete at result time")
+    }
+}
+
+/// Plain-Rust reference for B3.
+pub fn reference_b3(records: &[BingQuery]) -> Vec<(u64, Vec<i64>)> {
+    #[derive(Default)]
+    struct S {
+        count: i64,
+        prev: Option<i64>,
+        counts: Vec<i64>,
+    }
+    let mut m: std::collections::HashMap<u64, S> = std::collections::HashMap::new();
+    for r in records {
+        let s = m.entry(r.user_id).or_default();
+        let same = s.prev.is_some_and(|p| r.timestamp - p < SESSION_GAP_S);
+        if same {
+            s.count += 1;
+        } else {
+            if s.count > 0 {
+                s.counts.push(s.count);
+            }
+            s.count = 1;
+        }
+        s.prev = Some(r.timestamp);
+    }
+    let mut v: Vec<_> = m.into_iter().map(|(k, s)| (k, s.counts)).collect();
+    v.sort();
+    v
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::runner::{execute, hash_results, Backend};
+    use symple_core::uda::{run_chunked_symbolic, run_sequential};
+    use symple_core::EngineConfig;
+    use symple_datagen::{generate_bing, raw_sizes, BingConfig};
+    use symple_mapreduce::segment::split_into_segments;
+    use symple_mapreduce::JobConfig;
+
+    fn data() -> Vec<BingQuery> {
+        generate_bing(&BingConfig {
+            num_records: 20_000,
+            num_users: 120,
+            num_geos: 12,
+            ..BingConfig::default()
+        })
+    }
+
+    #[test]
+    fn b1_backends_agree_with_reference() {
+        let records = data();
+        let expect = hash_results(&reference_b1(&records));
+        let segments = split_into_segments(&records, 6, raw_sizes::BING);
+        for b in Backend::ALL {
+            let r = execute(&B1Group, &b1_uda(), &segments, b, &JobConfig::default()).unwrap();
+            assert_eq!(r.output_hash, expect, "backend {b:?}");
+            assert_eq!(r.output_rows, 1, "B1 has exactly one group");
+        }
+    }
+
+    #[test]
+    fn b1_detects_injected_outages() {
+        // Default config injects outages at +20 000 s and +60 000 s with a
+        // ≈1 s mean gap, so 100 000 records cover both windows.
+        let cfg = BingConfig {
+            num_records: 100_000,
+            ..BingConfig::default()
+        };
+        let records = generate_bing(&cfg);
+        let out = reference_b1(&records);
+        let gaps = &out[0].1;
+        // Both injected global outages (400 s and 200 s) must appear.
+        assert!(gaps.len() >= 4, "expected ≥2 outages, got {gaps:?}");
+        assert!(
+            gaps.chunks(2).any(|c| c[1] >= 380),
+            "400s outage missing: {gaps:?}"
+        );
+    }
+
+    #[test]
+    fn b2_backends_agree_with_reference() {
+        let records = data();
+        let expect = hash_results(&reference_b2(&records));
+        let segments = split_into_segments(&records, 6, raw_sizes::BING);
+        for b in Backend::ALL {
+            let r = execute(&B2Group, &b2_uda(), &segments, b, &JobConfig::default()).unwrap();
+            assert_eq!(r.output_hash, expect, "backend {b:?}");
+        }
+    }
+
+    #[test]
+    fn b3_backends_agree_with_reference() {
+        let records = data();
+        let expect = hash_results(&reference_b3(&records));
+        let segments = split_into_segments(&records, 6, raw_sizes::BING);
+        for b in Backend::ALL {
+            let r = execute(&B3Group, &B3Uda, &segments, b, &JobConfig::default()).unwrap();
+            assert_eq!(r.output_hash, expect, "backend {b:?}");
+        }
+    }
+
+    #[test]
+    fn gap_uda_chunked_equals_sequential() {
+        // Timestamps engineered so gaps straddle chunk boundaries.
+        let ts: Vec<i64> = vec![0, 10, 20, 300, 310, 320, 700, 710, 1200, 1210];
+        let seq = run_sequential(&b1_uda(), ts.iter()).unwrap();
+        assert_eq!(seq, reference_gaps(&ts, OUTAGE_GAP_S));
+        for n in 2..=ts.len() {
+            let par = run_chunked_symbolic(&b1_uda(), &ts, n, &EngineConfig::default()).unwrap();
+            assert_eq!(par, seq, "chunks={n}");
+        }
+    }
+
+    #[test]
+    fn b3_chunked_equals_sequential() {
+        let ts: Vec<i64> = vec![0, 30, 60, 400, 420, 1000, 1010, 1020, 1500];
+        let seq = run_sequential(&B3Uda, ts.iter()).unwrap();
+        assert_eq!(seq, vec![3, 2, 3]);
+        for n in 2..=ts.len() {
+            let par = run_chunked_symbolic(&B3Uda, &ts, n, &EngineConfig::default()).unwrap();
+            assert_eq!(par, seq, "chunks={n}");
+        }
+    }
+
+    #[test]
+    fn b1_shuffle_reduction_is_extreme() {
+        // §6.4: "instead of sending all records parsed by each mapper, the
+        // SYMPLE mappers send to the reducers one single record."
+        let records = data();
+        let segments = split_into_segments(&records, 8, raw_sizes::BING);
+        let cfg = JobConfig::default();
+        let base = execute(&B1Group, &b1_uda(), &segments, Backend::Baseline, &cfg).unwrap();
+        let sym = execute(&B1Group, &b1_uda(), &segments, Backend::Symple, &cfg).unwrap();
+        assert_eq!(sym.metrics.shuffle_records, 8, "one summary per mapper");
+        assert!(sym.metrics.shuffle_bytes * 50 < base.metrics.shuffle_bytes);
+    }
+}

@@ -1,0 +1,192 @@
+//! The paper's Figure 1 UDA: items a user purchased after searching for
+//! them and reading at least 10 reviews.
+
+use symple_core::ctx::SymCtx;
+use symple_core::impl_sym_state;
+use symple_core::types::{sym_bool::SymBool, sym_int::SymInt, sym_vector::SymVector};
+use symple_core::uda::Uda;
+use symple_datagen::{WebEvent, WebEventKind};
+use symple_mapreduce::GroupBy;
+
+/// Figure 1's review threshold ("count > 10").
+pub const REVIEW_THRESHOLD: i64 = 10;
+
+/// Funnel groupby: per user, project the event kind and item.
+pub struct FunnelGroup;
+
+impl GroupBy for FunnelGroup {
+    type Record = WebEvent;
+    type Key = u64;
+    type Event = (u8, u64);
+    fn extract(&self, r: &WebEvent) -> Option<(u64, (u8, u64))> {
+        Some((r.user_id, (r.kind as u8, r.item_id)))
+    }
+}
+
+/// Figure 1, verbatim: detect items the user (i) searched for, (ii) read
+/// more than ten reviews of, and (iii) eventually purchased.
+pub struct FunnelUda;
+
+/// Figure 1's aggregation state.
+#[derive(Clone, Debug)]
+pub struct FunnelState {
+    /// "is a bool" — whether a search has been seen.
+    pub srch_found: SymBool,
+    /// "is an int" — reviews read since the search.
+    pub count: SymInt,
+    /// "is a vector" — the reported item ids.
+    pub ret: SymVector<i64>,
+}
+impl_sym_state!(FunnelState {
+    srch_found,
+    count,
+    ret
+});
+
+impl Uda for FunnelUda {
+    type State = FunnelState;
+    type Event = (u8, u64);
+    type Output = Vec<i64>;
+
+    fn init(&self) -> FunnelState {
+        FunnelState {
+            srch_found: SymBool::new(false),
+            count: SymInt::new(0),
+            ret: SymVector::new(),
+        }
+    }
+
+    fn update(&self, s: &mut FunnelState, ctx: &mut SymCtx, (kind, item): &(u8, u64)) {
+        let kind = u32::from(*kind);
+        // Look for a search event.
+        if kind == WebEventKind::Search.code() && !s.srch_found.get(ctx) {
+            // Start counting reviews.
+            s.srch_found.assign(true);
+            s.count.assign(0);
+        }
+        // Count reviews.
+        if kind == WebEventKind::Review.code() && s.srch_found.get(ctx) {
+            s.count += 1;
+        }
+        // On a purchase event:
+        if kind == WebEventKind::Purchase.code() && s.srch_found.get(ctx) {
+            // Report if count > 10.
+            if s.count.gt(ctx, REVIEW_THRESHOLD) {
+                s.ret.push(*item as i64);
+            }
+            // Look for the next search.
+            s.srch_found.assign(false);
+        }
+    }
+
+    fn result(&self, s: &FunnelState, _ctx: &mut SymCtx) -> Vec<i64> {
+        s.ret.concrete_elems().expect("concrete at result time")
+    }
+}
+
+/// Plain-Rust reference for the funnel.
+pub fn reference_funnel(records: &[WebEvent]) -> Vec<(u64, Vec<i64>)> {
+    #[derive(Default)]
+    struct S {
+        srch: bool,
+        count: i64,
+        ret: Vec<i64>,
+    }
+    let mut m: std::collections::HashMap<u64, S> = std::collections::HashMap::new();
+    for r in records {
+        let s = m.entry(r.user_id).or_default();
+        match r.kind {
+            WebEventKind::Search => {
+                if !s.srch {
+                    s.srch = true;
+                    s.count = 0;
+                }
+            }
+            WebEventKind::Review => {
+                if s.srch {
+                    s.count += 1;
+                }
+            }
+            WebEventKind::Purchase => {
+                if s.srch {
+                    if s.count > REVIEW_THRESHOLD {
+                        s.ret.push(r.item_id as i64);
+                    }
+                    s.srch = false;
+                }
+            }
+            WebEventKind::Other => {}
+        }
+    }
+    let mut v: Vec<_> = m.into_iter().map(|(k, s)| (k, s.ret)).collect();
+    v.sort();
+    v
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::runner::{execute, hash_results, Backend};
+    use symple_core::uda::{run_chunked_symbolic, run_sequential};
+    use symple_core::EngineConfig;
+    use symple_datagen::{generate_weblog, raw_sizes, WeblogConfig};
+    use symple_mapreduce::segment::split_into_segments;
+    use symple_mapreduce::JobConfig;
+
+    #[test]
+    fn funnel_backends_agree_with_reference() {
+        let records = generate_weblog(&WeblogConfig {
+            num_records: 20_000,
+            num_users: 80,
+            ..WeblogConfig::default()
+        });
+        let expect = hash_results(&reference_funnel(&records));
+        let segments = split_into_segments(&records, 6, raw_sizes::WEBLOG);
+        for b in Backend::ALL {
+            let r = execute(
+                &FunnelGroup,
+                &FunnelUda,
+                &segments,
+                b,
+                &JobConfig::default(),
+            )
+            .unwrap();
+            assert_eq!(r.output_hash, expect, "backend {b:?}");
+        }
+    }
+
+    #[test]
+    fn funnel_reports_only_converted_items() {
+        let s = |item| (WebEventKind::Search as u8, item);
+        let r = |item| (WebEventKind::Review as u8, item);
+        let p = |item| (WebEventKind::Purchase as u8, item);
+        // 11 reviews then purchase: reported. 3 reviews then purchase: not.
+        let mut events = vec![s(1)];
+        events.extend(std::iter::repeat_n(r(1), 11));
+        events.push(p(1));
+        events.push(s(2));
+        events.extend(std::iter::repeat_n(r(2), 3));
+        events.push(p(2));
+        let out = run_sequential(&FunnelUda, events.iter()).unwrap();
+        assert_eq!(out, vec![1]);
+        // Chunked symbolic execution agrees at every split.
+        for n in 2..=events.len() {
+            let par =
+                run_chunked_symbolic(&FunnelUda, &events, n, &EngineConfig::default()).unwrap();
+            assert_eq!(par, out, "chunks={n}");
+        }
+    }
+
+    #[test]
+    fn funnel_count_boundary_is_strict() {
+        // Exactly 10 reviews is NOT enough ("count > 10").
+        let s = |item| (WebEventKind::Search as u8, item);
+        let r = |item| (WebEventKind::Review as u8, item);
+        let p = |item| (WebEventKind::Purchase as u8, item);
+        let mut events = vec![s(1)];
+        events.extend(std::iter::repeat_n(r(1), 10));
+        events.push(p(1));
+        let out = run_sequential(&FunnelUda, events.iter()).unwrap();
+        assert!(out.is_empty());
+    }
+}

@@ -1,0 +1,476 @@
+//! Queries G1–G4 over the GitHub operations dataset (Table 1).
+
+use symple_core::ctx::SymCtx;
+use symple_core::impl_sym_state;
+use symple_core::types::{
+    sym_bool::SymBool, sym_enum::SymEnum, sym_int::SymInt, sym_pred::SymPred, sym_vector::SymVector,
+};
+use symple_core::uda::Uda;
+use symple_datagen::{GithubEvent, GithubOp};
+use symple_mapreduce::GroupBy;
+
+/// Sentinel code for "no previous operation" in G2's state machine.
+pub const NO_PREV: u32 = GithubOp::DOMAIN;
+
+// ---------------------------------------------------------------- G1 ----
+
+/// G1 groupby: per repository, project just the operation code.
+pub struct G1Group;
+
+impl GroupBy for G1Group {
+    type Record = GithubEvent;
+    type Key = u64;
+    type Event = u8;
+    fn extract(&self, r: &GithubEvent) -> Option<(u64, u8)> {
+        Some((r.repo_id, r.op as u8))
+    }
+}
+
+/// G1: "Return all repositories with only push commands."
+pub struct G1Uda;
+
+/// G1 state: a single symbolic boolean.
+#[derive(Clone, Debug)]
+pub struct G1State {
+    /// Whether every operation so far was a push.
+    pub only_push: SymBool,
+}
+impl_sym_state!(G1State { only_push });
+
+impl Uda for G1Uda {
+    type State = G1State;
+    type Event = u8;
+    type Output = bool;
+    fn init(&self) -> G1State {
+        G1State {
+            only_push: SymBool::new(true),
+        }
+    }
+    fn update(&self, s: &mut G1State, _ctx: &mut SymCtx, e: &u8) {
+        if u32::from(*e) != GithubOp::Push.code() {
+            s.only_push.assign(false);
+        }
+    }
+    fn result(&self, s: &G1State, _ctx: &mut SymCtx) -> bool {
+        s.only_push
+            .concrete_value()
+            .expect("concrete at result time")
+    }
+}
+
+/// Plain-Rust reference for G1.
+pub fn reference_g1(records: &[GithubEvent]) -> Vec<(u64, bool)> {
+    let mut m: std::collections::HashMap<u64, bool> = std::collections::HashMap::new();
+    for r in records {
+        let e = m.entry(r.repo_id).or_insert(true);
+        if r.op != GithubOp::Push {
+            *e = false;
+        }
+    }
+    let mut v: Vec<_> = m.into_iter().collect();
+    v.sort();
+    v
+}
+
+// ---------------------------------------------------------------- G2 ----
+
+/// G2 groupby: identical projection to G1.
+pub struct G2Group;
+
+impl GroupBy for G2Group {
+    type Record = GithubEvent;
+    type Key = u64;
+    type Event = u8;
+    fn extract(&self, r: &GithubEvent) -> Option<(u64, u8)> {
+        Some((r.repo_id, r.op as u8))
+    }
+}
+
+/// G2: "All operations on a repository directly preceding a delete
+/// operation."
+pub struct G2Uda;
+
+/// G2 state: the previous operation (a bounded state machine) plus the
+/// reported operations.
+#[derive(Clone, Debug)]
+pub struct G2State {
+    /// The previous operation (with a no-previous sentinel).
+    pub prev_op: SymEnum,
+    /// Reported results.
+    pub out: SymVector<i64>,
+}
+impl_sym_state!(G2State { prev_op, out });
+
+impl Uda for G2Uda {
+    type State = G2State;
+    type Event = u8;
+    type Output = Vec<i64>;
+    fn init(&self) -> G2State {
+        G2State {
+            prev_op: SymEnum::new(GithubOp::DOMAIN + 1, NO_PREV),
+            out: SymVector::new(),
+        }
+    }
+    fn update(&self, s: &mut G2State, ctx: &mut SymCtx, e: &u8) {
+        if u32::from(*e) == GithubOp::Delete.code() && s.prev_op.ne_c(ctx, NO_PREV) {
+            s.out.push_enum(&s.prev_op);
+        }
+        s.prev_op.assign(ctx, u32::from(*e));
+    }
+    fn result(&self, s: &G2State, _ctx: &mut SymCtx) -> Vec<i64> {
+        s.out.concrete_elems().expect("concrete at result time")
+    }
+}
+
+/// Plain-Rust reference for G2.
+pub fn reference_g2(records: &[GithubEvent]) -> Vec<(u64, Vec<i64>)> {
+    let mut prev: std::collections::HashMap<u64, u32> = std::collections::HashMap::new();
+    let mut out: std::collections::HashMap<u64, Vec<i64>> = std::collections::HashMap::new();
+    for r in records {
+        if r.op == GithubOp::Delete {
+            if let Some(p) = prev.get(&r.repo_id) {
+                out.entry(r.repo_id).or_default().push(i64::from(*p));
+            }
+        }
+        prev.insert(r.repo_id, r.op.code());
+        out.entry(r.repo_id).or_default();
+    }
+    let mut v: Vec<_> = out.into_iter().collect();
+    v.sort();
+    v
+}
+
+// ---------------------------------------------------------------- G3 ----
+
+/// G3 groupby: identical projection to G1.
+pub struct G3Group;
+
+impl GroupBy for G3Group {
+    type Record = GithubEvent;
+    type Key = u64;
+    type Event = u8;
+    fn extract(&self, r: &GithubEvent) -> Option<(u64, u8)> {
+        Some((r.repo_id, r.op as u8))
+    }
+}
+
+/// G3: "Number of operations executed on a repository between pull open
+/// and close."
+pub struct G3Uda;
+
+/// G3 state: in-pull flag, running count, reported counts.
+#[derive(Clone, Debug)]
+pub struct G3State {
+    /// Whether a pull request is currently open.
+    pub in_pull: SymBool,
+    /// Running count.
+    pub count: SymInt,
+    /// Reported counts.
+    pub counts: SymVector<i64>,
+}
+impl_sym_state!(G3State {
+    in_pull,
+    count,
+    counts
+});
+
+impl Uda for G3Uda {
+    type State = G3State;
+    type Event = u8;
+    type Output = Vec<i64>;
+    fn init(&self) -> G3State {
+        G3State {
+            in_pull: SymBool::new(false),
+            count: SymInt::new(0),
+            counts: SymVector::new(),
+        }
+    }
+    fn update(&self, s: &mut G3State, ctx: &mut SymCtx, e: &u8) {
+        let op = u32::from(*e);
+        if op == GithubOp::PullOpen.code() {
+            s.in_pull.assign(true);
+            s.count.assign(0);
+        } else if op == GithubOp::PullClose.code() {
+            if s.in_pull.get(ctx) {
+                s.counts.push_int(&s.count);
+                s.in_pull.assign(false);
+            }
+        } else if s.in_pull.get(ctx) {
+            s.count += 1;
+        }
+    }
+    fn result(&self, s: &G3State, _ctx: &mut SymCtx) -> Vec<i64> {
+        s.counts.concrete_elems().expect("concrete at result time")
+    }
+}
+
+/// Plain-Rust reference for G3.
+pub fn reference_g3(records: &[GithubEvent]) -> Vec<(u64, Vec<i64>)> {
+    #[derive(Default)]
+    struct S {
+        in_pull: bool,
+        count: i64,
+        counts: Vec<i64>,
+    }
+    let mut m: std::collections::HashMap<u64, S> = std::collections::HashMap::new();
+    for r in records {
+        let s = m.entry(r.repo_id).or_default();
+        match r.op {
+            GithubOp::PullOpen => {
+                s.in_pull = true;
+                s.count = 0;
+            }
+            GithubOp::PullClose => {
+                if s.in_pull {
+                    s.counts.push(s.count);
+                    s.in_pull = false;
+                }
+            }
+            _ => {
+                if s.in_pull {
+                    s.count += 1;
+                }
+            }
+        }
+    }
+    let mut v: Vec<_> = m.into_iter().map(|(k, s)| (k, s.counts)).collect();
+    v.sort();
+    v
+}
+
+// ---------------------------------------------------------------- G4 ----
+
+/// G4 groupby: per repository, project operation code and timestamp.
+pub struct G4Group;
+
+impl GroupBy for G4Group {
+    type Record = GithubEvent;
+    type Key = u64;
+    type Event = (u8, i64);
+    fn extract(&self, r: &GithubEvent) -> Option<(u64, (u8, i64))> {
+        Some((r.repo_id, (r.op as u8, r.timestamp)))
+    }
+}
+
+/// G4: "The time between branch deletion and branch creation in a
+/// repository."
+///
+/// Uses a [`SymPred`] to hold the (possibly unknown) deletion timestamp,
+/// reporting the gap `create_ts − delete_ts` as an affine scalar — the
+/// Enum + Pred combination of Table 1.
+pub struct G4Uda;
+
+/// G4 state: pending-deletion flag, last deletion timestamp, gaps.
+#[derive(Clone, Debug)]
+pub struct G4State {
+    /// Whether a deletion awaits its matching creation.
+    pub pending: SymBool,
+    /// Timestamp of the pending deletion.
+    pub delete_ts: SymPred<i64>,
+    /// Reported deletion→creation gaps.
+    pub gaps: SymVector<i64>,
+}
+impl_sym_state!(G4State {
+    pending,
+    delete_ts,
+    gaps
+});
+
+impl Uda for G4Uda {
+    type State = G4State;
+    type Event = (u8, i64);
+    type Output = Vec<i64>;
+    fn init(&self) -> G4State {
+        G4State {
+            pending: SymBool::new(false),
+            // The predicate itself is unused by G4; the SymPred serves as a
+            // black-box value holder for the deletion timestamp.
+            delete_ts: SymPred::new(|_: &i64, _: &i64| true),
+            gaps: SymVector::new(),
+        }
+    }
+    fn update(&self, s: &mut G4State, ctx: &mut SymCtx, (op, ts): &(u8, i64)) {
+        let op = u32::from(*op);
+        if op == GithubOp::BranchDelete.code() {
+            s.pending.assign(true);
+            s.delete_ts.set(*ts);
+        } else if op == GithubOp::BranchCreate.code() && s.pending.get(ctx) {
+            if let Some(gap) = s.delete_ts.affine_scalar(-1, *ts) {
+                s.gaps.push_scalar(gap);
+            }
+            s.pending.assign(false);
+        }
+    }
+    fn result(&self, s: &G4State, _ctx: &mut SymCtx) -> Vec<i64> {
+        s.gaps.concrete_elems().expect("concrete at result time")
+    }
+}
+
+/// Plain-Rust reference for G4.
+pub fn reference_g4(records: &[GithubEvent]) -> Vec<(u64, Vec<i64>)> {
+    #[derive(Default)]
+    struct S {
+        pending: Option<i64>,
+        gaps: Vec<i64>,
+    }
+    let mut m: std::collections::HashMap<u64, S> = std::collections::HashMap::new();
+    for r in records {
+        let s = m.entry(r.repo_id).or_default();
+        match r.op {
+            GithubOp::BranchDelete => s.pending = Some(r.timestamp),
+            GithubOp::BranchCreate => {
+                if let Some(del) = s.pending.take() {
+                    s.gaps.push(r.timestamp - del);
+                }
+            }
+            _ => {}
+        }
+    }
+    let mut v: Vec<_> = m.into_iter().map(|(k, s)| (k, s.gaps)).collect();
+    v.sort();
+    v
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::runner::{execute, hash_results, Backend};
+    use symple_core::uda::{run_chunked_symbolic, run_sequential};
+    use symple_core::EngineConfig;
+    use symple_datagen::{generate_github, raw_sizes, GithubConfig};
+    use symple_mapreduce::segment::split_into_segments;
+    use symple_mapreduce::JobConfig;
+
+    fn data() -> Vec<GithubEvent> {
+        generate_github(&GithubConfig {
+            num_records: 8_000,
+            num_repos: 60,
+            ..GithubConfig::default()
+        })
+    }
+
+    fn per_key(records: &[GithubEvent], repo: u64) -> Vec<GithubEvent> {
+        records
+            .iter()
+            .filter(|r| r.repo_id == repo)
+            .copied()
+            .collect()
+    }
+
+    #[test]
+    fn g1_backends_agree_with_reference() {
+        let records = data();
+        let expect = hash_results(&reference_g1(&records));
+        let segments = split_into_segments(&records, 6, raw_sizes::GITHUB);
+        for b in Backend::ALL {
+            let r = execute(&G1Group, &G1Uda, &segments, b, &JobConfig::default()).unwrap();
+            assert_eq!(r.output_hash, expect, "backend {b:?}");
+        }
+    }
+
+    #[test]
+    fn g2_backends_agree_with_reference() {
+        let records = data();
+        let expect = hash_results(&reference_g2(&records));
+        let segments = split_into_segments(&records, 6, raw_sizes::GITHUB);
+        for b in Backend::ALL {
+            let r = execute(&G2Group, &G2Uda, &segments, b, &JobConfig::default()).unwrap();
+            assert_eq!(r.output_hash, expect, "backend {b:?}");
+        }
+    }
+
+    #[test]
+    fn g3_backends_agree_with_reference() {
+        let records = data();
+        let expect = hash_results(&reference_g3(&records));
+        let segments = split_into_segments(&records, 6, raw_sizes::GITHUB);
+        for b in Backend::ALL {
+            let r = execute(&G3Group, &G3Uda, &segments, b, &JobConfig::default()).unwrap();
+            assert_eq!(r.output_hash, expect, "backend {b:?}");
+        }
+    }
+
+    #[test]
+    fn g4_backends_agree_with_reference() {
+        let records = data();
+        let expect = hash_results(&reference_g4(&records));
+        let segments = split_into_segments(&records, 6, raw_sizes::GITHUB);
+        for b in Backend::ALL {
+            let r = execute(&G4Group, &G4Uda, &segments, b, &JobConfig::default()).unwrap();
+            assert_eq!(r.output_hash, expect, "backend {b:?}");
+        }
+    }
+
+    #[test]
+    fn g3_chunked_equals_sequential_per_group() {
+        let records = data();
+        // Pick the busiest repo (the generator skews traffic to a hot set).
+        let mut counts = std::collections::HashMap::new();
+        for r in &records {
+            *counts.entry(r.repo_id).or_insert(0usize) += 1;
+        }
+        let busiest = *counts.iter().max_by_key(|(_, c)| **c).unwrap().0;
+        let events: Vec<u8> = per_key(&records, busiest)
+            .iter()
+            .map(|r| r.op as u8)
+            .collect();
+        assert!(events.len() > 20, "need a busy repo for this test");
+        let seq = run_sequential(&G3Uda, events.iter()).unwrap();
+        for n in [2, 3, 7] {
+            let par = run_chunked_symbolic(&G3Uda, &events, n, &EngineConfig::default()).unwrap();
+            assert_eq!(par, seq, "chunks={n}");
+        }
+    }
+
+    #[test]
+    fn g4_gap_spanning_chunk_boundary() {
+        // Deletion in one chunk, creation in the next: the gap must be
+        // computed across the boundary via the symbolic timestamp.
+        let mk = |op: GithubOp, ts: i64| GithubEvent {
+            repo_id: 1,
+            op,
+            timestamp: ts,
+            actor_id: 0,
+        };
+        let events: Vec<(u8, i64)> = [
+            mk(GithubOp::Push, 100),
+            mk(GithubOp::BranchDelete, 200),
+            mk(GithubOp::Push, 250),
+            mk(GithubOp::BranchCreate, 300),
+            mk(GithubOp::BranchDelete, 400),
+            mk(GithubOp::BranchCreate, 460),
+        ]
+        .iter()
+        .map(|e| (e.op as u8, e.timestamp))
+        .collect();
+        let seq = run_sequential(&G4Uda, events.iter()).unwrap();
+        assert_eq!(seq, vec![100, 60]);
+        for n in 2..=events.len() {
+            let par = run_chunked_symbolic(&G4Uda, &events, n, &EngineConfig::default()).unwrap();
+            assert_eq!(par, seq, "chunks={n}");
+        }
+    }
+
+    #[test]
+    fn g1_symple_shuffle_is_tiny() {
+        let records = data();
+        let segments = split_into_segments(&records, 6, raw_sizes::GITHUB);
+        let base = execute(
+            &G1Group,
+            &G1Uda,
+            &segments,
+            Backend::Baseline,
+            &JobConfig::default(),
+        )
+        .unwrap();
+        let sym = execute(
+            &G1Group,
+            &G1Uda,
+            &segments,
+            Backend::Symple,
+            &JobConfig::default(),
+        )
+        .unwrap();
+        assert!(sym.metrics.shuffle_bytes < base.metrics.shuffle_bytes);
+    }
+}

@@ -1,0 +1,44 @@
+#![warn(missing_docs)]
+
+//! # symple-queries
+//!
+//! The 12 evaluation queries of the SYMPLE paper (§6.1, Table 1), each
+//! implemented three ways:
+//!
+//! * as a **symbolic UDA** over `symple-core`'s data types — what SYMPLE
+//!   parallelizes;
+//! * runnable through the **baseline** and **SYMPLE** MapReduce jobs and a
+//!   **sequential** single-thread reference;
+//! * with an independent **plain-Rust reference** implementation used by
+//!   the tests to pin down the exact sequential semantics.
+//!
+//! | ID | Dataset | Description | Sym types |
+//! |----|---------|-------------|-----------|
+//! | G1 | github | repositories with only push commands | Enum |
+//! | G2 | github | ops directly preceding a delete | Enum |
+//! | G3 | github | #ops between pull open and close | Enum, Int |
+//! | G4 | github | time between branch deletion and creation | Enum, Pred |
+//! | B1 | Bing | global outages > 2 min | Pred |
+//! | B2 | Bing | outages per geographic area | Pred |
+//! | B3 | Bing | queries per session per user | Int, Pred |
+//! | T1 | Twitter | spam learning speed per hashtag | Enum, Int |
+//! | R1 | RedShift | impressions per advertiser | Int |
+//! | R2 | RedShift | single-country advertisers | Enum, Pred |
+//! | R3 | RedShift | serving gaps > 1 h per advertiser | Pred |
+//! | R4 | RedShift | single-campaign run lengths | Int, Pred |
+//!
+//! The [`registry`] module exposes every query behind a uniform
+//! [`registry::QueryRunner`] interface so the benchmark harnesses can sweep
+//! them.
+
+pub mod bing_q;
+pub mod funnel;
+pub mod github_q;
+pub mod redshift_q;
+pub mod registry;
+pub mod runner;
+pub mod sessions;
+pub mod twitter_q;
+
+pub use registry::{all_queries, runner_by_id, QueryInfo};
+pub use runner::{Backend, DataScale, QueryReport};

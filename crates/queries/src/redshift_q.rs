@@ -1,0 +1,372 @@
+//! Queries R1–R4 over the RedShift ad-impression dataset (Table 1).
+
+use symple_core::ctx::SymCtx;
+use symple_core::impl_sym_state;
+use symple_core::types::{
+    sym_bool::SymBool, sym_int::SymInt, sym_pred::SymPred, sym_vector::SymVector,
+};
+use symple_core::uda::Uda;
+use symple_datagen::AdImpression;
+use symple_mapreduce::GroupBy;
+
+use crate::bing_q::{reference_gaps, GapUda};
+
+/// R3's serving-gap threshold: "more than 1 hour".
+pub const SERVING_GAP_S: i64 = 3_600;
+
+// ---------------------------------------------------------------- R1 ----
+
+/// R1 groupby: per advertiser, project nothing (a unit event per row).
+pub struct R1Group;
+
+impl GroupBy for R1Group {
+    type Record = AdImpression;
+    type Key = u32;
+    type Event = ();
+    fn extract(&self, r: &AdImpression) -> Option<(u32, ())> {
+        Some((r.advertiser_id, ()))
+    }
+}
+
+/// R1: "Number of impressions per advertiser" — counting expressed as a
+/// UDA, the paper's introduction example of a UDA that built-in
+/// aggregations would otherwise handle.
+pub struct R1Uda;
+
+/// R1 state: a single symbolic counter.
+#[derive(Clone, Debug)]
+pub struct R1State {
+    /// Running count.
+    pub count: SymInt,
+}
+impl_sym_state!(R1State { count });
+
+impl Uda for R1Uda {
+    type State = R1State;
+    type Event = ();
+    type Output = i64;
+    fn init(&self) -> R1State {
+        R1State {
+            count: SymInt::new(0),
+        }
+    }
+    fn update(&self, s: &mut R1State, _ctx: &mut SymCtx, _e: &()) {
+        s.count += 1;
+    }
+    fn result(&self, s: &R1State, _ctx: &mut SymCtx) -> i64 {
+        s.count.concrete_value().expect("concrete at result time")
+    }
+}
+
+/// Plain-Rust reference for R1.
+pub fn reference_r1(records: &[AdImpression]) -> Vec<(u32, i64)> {
+    let mut m: std::collections::HashMap<u32, i64> = std::collections::HashMap::new();
+    for r in records {
+        *m.entry(r.advertiser_id).or_default() += 1;
+    }
+    let mut v: Vec<_> = m.into_iter().collect();
+    v.sort();
+    v
+}
+
+// ---------------------------------------------------------------- R2 ----
+
+/// R2 groupby: per advertiser, project the country.
+pub struct R2Group;
+
+impl GroupBy for R2Group {
+    type Record = AdImpression;
+    type Key = u32;
+    type Event = u32;
+    fn extract(&self, r: &AdImpression) -> Option<(u32, u32)> {
+        Some((r.advertiser_id, u32::from(r.country)))
+    }
+}
+
+/// R2: "List of advertisers operating only in a single country."
+///
+/// The country comparison is a black-box equality predicate on the
+/// previous country — Table 1's Enum + Pred combination.
+pub struct R2Uda;
+
+/// R2 state: previous country and the single-country verdict.
+#[derive(Clone, Debug)]
+pub struct R2State {
+    /// Previous value, held through a black-box predicate.
+    pub prev: SymPred<u32>,
+    /// Whether only a single value has been seen.
+    pub single: SymBool,
+}
+impl_sym_state!(R2State { prev, single });
+
+impl Uda for R2Uda {
+    type State = R2State;
+    type Event = u32;
+    type Output = bool;
+    fn init(&self) -> R2State {
+        R2State {
+            prev: SymPred::new(|prev: &u32, cur: &u32| prev == cur).with_initial_outcome(true),
+            single: SymBool::new(true),
+        }
+    }
+    fn update(&self, s: &mut R2State, ctx: &mut SymCtx, country: &u32) {
+        if !s.prev.eval(ctx, country) {
+            s.single.assign(false);
+        }
+        s.prev.set(*country);
+    }
+    fn result(&self, s: &R2State, _ctx: &mut SymCtx) -> bool {
+        s.single.concrete_value().expect("concrete at result time")
+    }
+}
+
+/// Plain-Rust reference for R2.
+pub fn reference_r2(records: &[AdImpression]) -> Vec<(u32, bool)> {
+    let mut prev: std::collections::HashMap<u32, u8> = std::collections::HashMap::new();
+    let mut single: std::collections::HashMap<u32, bool> = std::collections::HashMap::new();
+    for r in records {
+        let e = single.entry(r.advertiser_id).or_insert(true);
+        match prev.get(&r.advertiser_id) {
+            Some(c) if *c != r.country => *e = false,
+            _ => {}
+        }
+        prev.insert(r.advertiser_id, r.country);
+    }
+    let mut v: Vec<_> = single.into_iter().collect();
+    v.sort();
+    v
+}
+
+// ---------------------------------------------------------------- R3 ----
+
+/// R3 groupby: per advertiser, project the timestamp.
+pub struct R3Group;
+
+impl GroupBy for R3Group {
+    type Record = AdImpression;
+    type Key = u32;
+    type Event = i64;
+    fn extract(&self, r: &AdImpression) -> Option<(u32, i64)> {
+        Some((r.advertiser_id, r.timestamp))
+    }
+}
+
+/// R3: "Cases for advertiser when their ads were not showing for more
+/// than 1 hour" — the gap detector with a one-hour threshold.
+pub fn r3_uda() -> GapUda {
+    GapUda::new(SERVING_GAP_S)
+}
+
+/// Plain-Rust reference for R3.
+pub fn reference_r3(records: &[AdImpression]) -> Vec<(u32, Vec<i64>)> {
+    let mut per: std::collections::HashMap<u32, Vec<i64>> = std::collections::HashMap::new();
+    for r in records {
+        per.entry(r.advertiser_id).or_default().push(r.timestamp);
+    }
+    let mut v: Vec<_> = per
+        .into_iter()
+        .map(|(a, ts)| (a, reference_gaps(&ts, SERVING_GAP_S)))
+        .collect();
+    v.sort();
+    v
+}
+
+// ---------------------------------------------------------------- R4 ----
+
+/// R4 groupby: per advertiser, project the campaign id.
+pub struct R4Group;
+
+impl GroupBy for R4Group {
+    type Record = AdImpression;
+    type Key = u32;
+    type Event = i64;
+    fn extract(&self, r: &AdImpression) -> Option<(u32, i64)> {
+        Some((r.advertiser_id, i64::from(r.campaign_id)))
+    }
+}
+
+/// R4: "Lengths of runs for which only a single campaign by an advertiser
+/// is shown."
+pub struct R4Uda;
+
+/// R4 state: current run length, previous campaign, reported run lengths.
+#[derive(Clone, Debug)]
+pub struct R4State {
+    /// Current run length.
+    pub len: SymInt,
+    /// Previous value, held through a black-box predicate.
+    pub prev: SymPred<i64>,
+    /// Reported run lengths.
+    pub runs: SymVector<i64>,
+}
+impl_sym_state!(R4State { len, prev, runs });
+
+impl Uda for R4Uda {
+    type State = R4State;
+    type Event = i64;
+    type Output = Vec<i64>;
+    fn init(&self) -> R4State {
+        R4State {
+            len: SymInt::new(0),
+            prev: SymPred::new(|prev: &i64, cur: &i64| prev == cur),
+            runs: SymVector::new(),
+        }
+    }
+    fn update(&self, s: &mut R4State, ctx: &mut SymCtx, campaign: &i64) {
+        if s.prev.eval(ctx, campaign) {
+            s.len += 1;
+        } else {
+            // Campaign switch: report the finished run, start a new one.
+            if s.len.gt(ctx, 0) {
+                s.runs.push_int(&s.len);
+            }
+            s.len.assign(1);
+        }
+        s.prev.set(*campaign);
+    }
+    fn result(&self, s: &R4State, _ctx: &mut SymCtx) -> Vec<i64> {
+        s.runs.concrete_elems().expect("concrete at result time")
+    }
+}
+
+/// Plain-Rust reference for R4.
+pub fn reference_r4(records: &[AdImpression]) -> Vec<(u32, Vec<i64>)> {
+    #[derive(Default)]
+    struct S {
+        len: i64,
+        prev: Option<u32>,
+        runs: Vec<i64>,
+    }
+    let mut m: std::collections::HashMap<u32, S> = std::collections::HashMap::new();
+    for r in records {
+        let s = m.entry(r.advertiser_id).or_default();
+        if s.prev == Some(r.campaign_id) {
+            s.len += 1;
+        } else {
+            if s.len > 0 {
+                s.runs.push(s.len);
+            }
+            s.len = 1;
+        }
+        s.prev = Some(r.campaign_id);
+    }
+    let mut v: Vec<_> = m.into_iter().map(|(k, s)| (k, s.runs)).collect();
+    v.sort();
+    v
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::runner::{execute, hash_results, Backend};
+    use symple_core::uda::{run_chunked_symbolic, run_sequential};
+    use symple_core::EngineConfig;
+    use symple_datagen::{generate_redshift, raw_sizes, RedshiftConfig};
+    use symple_mapreduce::segment::split_into_segments;
+    use symple_mapreduce::JobConfig;
+
+    fn data() -> Vec<AdImpression> {
+        generate_redshift(&RedshiftConfig {
+            num_records: 20_000,
+            num_advertisers: 80,
+            gap_probability: 0.003,
+            ..RedshiftConfig::default()
+        })
+    }
+
+    #[test]
+    fn r1_backends_agree_with_reference() {
+        let records = data();
+        let expect = hash_results(&reference_r1(&records));
+        let segments = split_into_segments(&records, 6, raw_sizes::REDSHIFT);
+        for b in Backend::ALL {
+            let r = execute(&R1Group, &R1Uda, &segments, b, &JobConfig::default()).unwrap();
+            assert_eq!(r.output_hash, expect, "backend {b:?}");
+        }
+    }
+
+    #[test]
+    fn r2_backends_agree_with_reference() {
+        let records = data();
+        let expect = hash_results(&reference_r2(&records));
+        let segments = split_into_segments(&records, 6, raw_sizes::REDSHIFT);
+        for b in Backend::ALL {
+            let r = execute(&R2Group, &R2Uda, &segments, b, &JobConfig::default()).unwrap();
+            assert_eq!(r.output_hash, expect, "backend {b:?}");
+        }
+    }
+
+    #[test]
+    fn r3_backends_agree_with_reference() {
+        let records = data();
+        let expect = hash_results(&reference_r3(&records));
+        let segments = split_into_segments(&records, 6, raw_sizes::REDSHIFT);
+        for b in Backend::ALL {
+            let r = execute(&R3Group, &r3_uda(), &segments, b, &JobConfig::default()).unwrap();
+            assert_eq!(r.output_hash, expect, "backend {b:?}");
+        }
+    }
+
+    #[test]
+    fn r4_backends_agree_with_reference() {
+        let records = data();
+        let expect = hash_results(&reference_r4(&records));
+        let segments = split_into_segments(&records, 6, raw_sizes::REDSHIFT);
+        for b in Backend::ALL {
+            let r = execute(&R4Group, &R4Uda, &segments, b, &JobConfig::default()).unwrap();
+            assert_eq!(r.output_hash, expect, "backend {b:?}");
+        }
+    }
+
+    #[test]
+    fn r1_chunked_counting() {
+        let events = vec![(); 100];
+        let seq = run_sequential(&R1Uda, events.iter()).unwrap();
+        assert_eq!(seq, 100);
+        for n in [2, 7, 33] {
+            let par = run_chunked_symbolic(&R1Uda, &events, n, &EngineConfig::default()).unwrap();
+            assert_eq!(par, 100, "chunks={n}");
+        }
+    }
+
+    #[test]
+    fn r2_single_country_flips_across_chunks() {
+        let countries: Vec<u32> = vec![3, 3, 3, 3, 5, 3, 3];
+        let seq = run_sequential(&R2Uda, countries.iter()).unwrap();
+        assert!(!seq);
+        for n in 2..=countries.len() {
+            let par =
+                run_chunked_symbolic(&R2Uda, &countries, n, &EngineConfig::default()).unwrap();
+            assert_eq!(par, seq, "chunks={n}");
+        }
+        // All-same stays single.
+        let same: Vec<u32> = vec![4; 9];
+        assert!(run_chunked_symbolic(&R2Uda, &same, 3, &EngineConfig::default()).unwrap());
+    }
+
+    #[test]
+    fn r4_runs_across_chunks() {
+        let campaigns: Vec<i64> = vec![1, 1, 1, 2, 2, 7, 7, 7, 7, 3];
+        let seq = run_sequential(&R4Uda, campaigns.iter()).unwrap();
+        assert_eq!(seq, vec![3, 2, 4]);
+        for n in 2..=campaigns.len() {
+            let par =
+                run_chunked_symbolic(&R4Uda, &campaigns, n, &EngineConfig::default()).unwrap();
+            assert_eq!(par, seq, "chunks={n}");
+        }
+    }
+
+    #[test]
+    fn r1_summary_is_one_affine_path() {
+        // Counting has a single path: count = x + n. SYMPLE shuffles a
+        // constant-size summary however large the chunk.
+        use symple_core::uda::summarize_chunk;
+        let small = summarize_chunk(&R1Uda, [(); 10].iter(), &EngineConfig::default()).unwrap();
+        let large = summarize_chunk(&R1Uda, [(); 10_000].iter(), &EngineConfig::default()).unwrap();
+        assert_eq!(small.total_paths(), 1);
+        assert_eq!(large.total_paths(), 1);
+        // The encoded size differs only by the varint width of the offset.
+        assert!(small.wire_len() <= 32);
+        assert!(large.wire_len() <= 32);
+    }
+}

@@ -1,0 +1,142 @@
+//! The paper's §4.4 example: `CountEventsInSessions` over GPS traces,
+//! exercising black-box predicates on non-scalar values.
+
+use symple_core::ctx::SymCtx;
+use symple_core::impl_sym_state;
+use symple_core::types::{sym_int::SymInt, sym_pred::SymPred, sym_vector::SymVector};
+use symple_core::uda::Uda;
+
+/// A GPS coordinate (degrees), stored in a `SymPred`.
+pub type GpsCoord = (f64, f64);
+
+/// Maximum distance (in coordinate units) between consecutive events of
+/// one session.
+pub const SESSION_DISTANCE: f64 = 0.5;
+
+/// Whether two coordinates are within the session distance — the paper's
+/// `distanceLessThanBound`, "a nonlinear computation that is not amenable
+/// to symbolic reasoning".
+pub fn distance_less_than_bound(a: &GpsCoord, b: &GpsCoord) -> bool {
+    let (dx, dy) = (a.0 - b.0, a.1 - b.1);
+    (dx * dx + dy * dy).sqrt() < SESSION_DISTANCE
+}
+
+/// `CountEventsInSessions` (§4.4): split a GPS trace into sessions of
+/// nearby consecutive events, reporting each session's length.
+pub struct GpsSessionsUda;
+
+/// The aggregation state of §4.4.
+#[derive(Clone, Debug)]
+pub struct GpsState {
+    /// Running count.
+    pub count: SymInt,
+    /// Reported counts.
+    pub counts: SymVector<i64>,
+    /// Previous value, held through a black-box predicate.
+    pub prev: SymPred<GpsCoord>,
+}
+impl_sym_state!(GpsState {
+    count,
+    counts,
+    prev
+});
+
+impl Uda for GpsSessionsUda {
+    type State = GpsState;
+    type Event = GpsCoord;
+    type Output = Vec<i64>;
+
+    fn init(&self) -> GpsState {
+        GpsState {
+            count: SymInt::new(0),
+            counts: SymVector::new(),
+            prev: SymPred::new(distance_less_than_bound),
+        }
+    }
+
+    fn update(&self, s: &mut GpsState, ctx: &mut SymCtx, coord: &GpsCoord) {
+        if s.prev.eval(ctx, coord) {
+            // Same session.
+            s.count += 1;
+        } else {
+            // Reset: report and start over (as written in the paper,
+            // including the possibly-zero first report).
+            s.counts.push_int(&s.count);
+            s.count.assign(0);
+        }
+        s.prev.set(*coord);
+    }
+
+    fn result(&self, s: &GpsState, _ctx: &mut SymCtx) -> Vec<i64> {
+        s.counts.concrete_elems().expect("concrete at result time")
+    }
+}
+
+/// Plain-Rust reference for the GPS sessionizer.
+pub fn reference_gps(coords: &[GpsCoord]) -> Vec<i64> {
+    let mut counts = Vec::new();
+    let mut count = 0i64;
+    let mut prev: Option<GpsCoord> = None;
+    for c in coords {
+        match prev {
+            Some(p) if distance_less_than_bound(&p, c) => count += 1,
+            _ => {
+                counts.push(count);
+                count = 0;
+            }
+        }
+        prev = Some(*c);
+    }
+    counts
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use symple_core::uda::{run_chunked_symbolic, run_sequential, summarize_chunk};
+    use symple_core::EngineConfig;
+
+    fn trace() -> Vec<GpsCoord> {
+        vec![
+            (0.0, 0.0),
+            (0.1, 0.0),
+            (0.2, 0.1),
+            (5.0, 5.0), // jump: new session
+            (5.1, 5.0),
+            (5.2, 5.1),
+            (5.3, 5.1),
+            (9.0, 0.0), // jump
+            (9.1, 0.0),
+        ]
+    }
+
+    #[test]
+    fn sequential_matches_reference() {
+        let t = trace();
+        let seq = run_sequential(&GpsSessionsUda, t.iter()).unwrap();
+        assert_eq!(seq, reference_gps(&t));
+        assert_eq!(seq, vec![0, 2, 3]);
+    }
+
+    #[test]
+    fn chunked_matches_sequential_all_splits() {
+        let t = trace();
+        let seq = run_sequential(&GpsSessionsUda, t.iter()).unwrap();
+        for n in 1..=t.len() {
+            let par =
+                run_chunked_symbolic(&GpsSessionsUda, &t, n, &EngineConfig::default()).unwrap();
+            assert_eq!(par, seq, "chunks={n}");
+        }
+    }
+
+    #[test]
+    fn path_blowup_is_at_most_two() {
+        // §4.4: "prev is assigned a concrete value in both branches when
+        // processing the first event … there can at most be a path blowup
+        // of two."
+        let t = trace();
+        let chain = summarize_chunk(&GpsSessionsUda, t.iter(), &EngineConfig::default()).unwrap();
+        assert_eq!(chain.len(), 1);
+        assert!(chain.total_paths() <= 2, "paths = {}", chain.total_paths());
+    }
+}

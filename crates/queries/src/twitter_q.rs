@@ -1,0 +1,222 @@
+//! Query T1 over the Twitter dataset (Table 1).
+//!
+//! "Spam learning speed — number of queries not marked as spam, followed
+//! by at least 5 queries marked as spam, per hashtag." The spam-run
+//! counter is a bounded state machine encoded in a `SymEnum` (the FSM
+//! pattern of §7's data-parallel-FSM comparison), and the clean count is a
+//! `SymInt` — Table 1's Enum + Int combination.
+
+use symple_core::ctx::SymCtx;
+use symple_core::impl_sym_state;
+use symple_core::types::{sym_enum::SymEnum, sym_int::SymInt, sym_vector::SymVector};
+use symple_core::uda::Uda;
+use symple_datagen::Tweet;
+use symple_mapreduce::GroupBy;
+
+/// Spam-run length at which the burst is reported.
+pub const SPAM_RUN: u32 = 5;
+
+/// T1 groupby: per hashtag, project just the spam mark.
+pub struct T1Group;
+
+impl GroupBy for T1Group {
+    type Record = Tweet;
+    type Key = u64;
+    type Event = bool;
+    fn extract(&self, r: &Tweet) -> Option<(u64, bool)> {
+        Some((r.hashtag_id, r.is_spam))
+    }
+}
+
+/// T1: report the clean-tweet count once a run of [`SPAM_RUN`] marked
+/// tweets completes.
+pub struct T1Uda;
+
+/// T1 state: clean count, saturating spam-run counter (domain 0..=5), and
+/// the reported learning speeds.
+#[derive(Clone, Debug)]
+pub struct T1State {
+    /// Clean (non-spam) tweets seen so far.
+    pub clean: SymInt,
+    /// Saturating spam-run counter.
+    pub run: SymEnum,
+    /// Reported results.
+    pub out: SymVector<i64>,
+}
+impl_sym_state!(T1State { clean, run, out });
+
+impl Uda for T1Uda {
+    type State = T1State;
+    type Event = bool;
+    type Output = Vec<i64>;
+    fn init(&self) -> T1State {
+        T1State {
+            clean: SymInt::new(0),
+            run: SymEnum::new(SPAM_RUN + 1, 0),
+            out: SymVector::new(),
+        }
+    }
+    fn update(&self, s: &mut T1State, ctx: &mut SymCtx, is_spam: &bool) {
+        if *is_spam {
+            // Saturating FSM increment: enums support only compare/assign
+            // (§4.1), so the transition is an equality chain.
+            if s.run.eq_c(ctx, 0) {
+                s.run.assign(ctx, 1);
+            } else if s.run.eq_c(ctx, 1) {
+                s.run.assign(ctx, 2);
+            } else if s.run.eq_c(ctx, 2) {
+                s.run.assign(ctx, 3);
+            } else if s.run.eq_c(ctx, 3) {
+                s.run.assign(ctx, 4);
+            } else if s.run.eq_c(ctx, 4) {
+                s.run.assign(ctx, 5);
+                // The run just reached 5: report the learning speed.
+                s.out.push_int(&s.clean);
+            }
+            // run == 5: burst already reported; saturate.
+        } else {
+            s.clean += 1;
+            s.run.assign(ctx, 0);
+        }
+    }
+    fn result(&self, s: &T1State, _ctx: &mut SymCtx) -> Vec<i64> {
+        s.out.concrete_elems().expect("concrete at result time")
+    }
+}
+
+/// T1 expressed with [`SymEnum::map_transition`] — the data-parallel-FSM
+/// formulation (§7's related work): one partitioned fork per record
+/// instead of an equality chain. Semantically identical to [`T1Uda`].
+pub struct T1FsmUda;
+
+impl Uda for T1FsmUda {
+    type State = T1State;
+    type Event = bool;
+    type Output = Vec<i64>;
+    fn init(&self) -> T1State {
+        T1Uda.init()
+    }
+    fn update(&self, s: &mut T1State, ctx: &mut SymCtx, is_spam: &bool) {
+        if *is_spam {
+            // Report exactly when the run transitions 4 → 5.
+            if s.run.eq_c(ctx, 4) {
+                s.out.push_int(&s.clean);
+            }
+            s.run.map_transition(ctx, |r| (r + 1).min(SPAM_RUN));
+        } else {
+            s.clean += 1;
+            s.run.map_transition(ctx, |_| 0);
+        }
+    }
+    fn result(&self, s: &T1State, _ctx: &mut SymCtx) -> Vec<i64> {
+        s.out.concrete_elems().expect("concrete at result time")
+    }
+}
+
+/// Plain-Rust reference for T1.
+pub fn reference_t1(records: &[Tweet]) -> Vec<(u64, Vec<i64>)> {
+    #[derive(Default)]
+    struct S {
+        clean: i64,
+        run: u32,
+        out: Vec<i64>,
+    }
+    let mut m: std::collections::HashMap<u64, S> = std::collections::HashMap::new();
+    for r in records {
+        let s = m.entry(r.hashtag_id).or_default();
+        if r.is_spam {
+            if s.run < SPAM_RUN {
+                s.run += 1;
+                if s.run == SPAM_RUN {
+                    s.out.push(s.clean);
+                }
+            }
+        } else {
+            s.clean += 1;
+            s.run = 0;
+        }
+    }
+    let mut v: Vec<_> = m.into_iter().map(|(k, s)| (k, s.out)).collect();
+    v.sort();
+    v
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::runner::{execute, hash_results, Backend};
+    use symple_core::uda::{run_chunked_symbolic, run_sequential};
+    use symple_core::EngineConfig;
+    use symple_datagen::{generate_twitter, raw_sizes, TwitterConfig};
+    use symple_mapreduce::segment::split_into_segments;
+    use symple_mapreduce::JobConfig;
+
+    fn data() -> Vec<Tweet> {
+        generate_twitter(&TwitterConfig {
+            num_records: 20_000,
+            num_hashtags: 150,
+            ..TwitterConfig::default()
+        })
+    }
+
+    #[test]
+    fn t1_backends_agree_with_reference() {
+        let records = data();
+        let expect = hash_results(&reference_t1(&records));
+        let segments = split_into_segments(&records, 6, raw_sizes::TWITTER);
+        for b in Backend::ALL {
+            let r = execute(&T1Group, &T1Uda, &segments, b, &JobConfig::default()).unwrap();
+            assert_eq!(r.output_hash, expect, "backend {b:?}");
+        }
+    }
+
+    #[test]
+    fn t1_sequential_semantics() {
+        // clean, clean, then 5 spam: report 2. A second burst after more
+        // clean tweets reports again.
+        let marks = [
+            false, false, true, true, true, true, true, // report 2
+            false, true, true, true, true, true, // report 3
+            true, // saturated, no report
+        ];
+        let out = run_sequential(&T1Uda, marks.iter()).unwrap();
+        assert_eq!(out, vec![2, 3]);
+    }
+
+    #[test]
+    fn t1_chunked_equals_sequential() {
+        let marks: Vec<bool> = (0..40).map(|i| i % 7 > 2).collect();
+        let seq = run_sequential(&T1Uda, marks.iter()).unwrap();
+        for n in [2, 3, 5, 8, 13] {
+            let par = run_chunked_symbolic(&T1Uda, &marks, n, &EngineConfig::default()).unwrap();
+            assert_eq!(par, seq, "chunks={n}");
+        }
+    }
+
+    #[test]
+    fn t1_fsm_formulation_is_equivalent() {
+        // The map_transition formulation must agree with the equality
+        // chain on every input and chunking.
+        let marks: Vec<bool> = (0..60).map(|i| i % 5 > 1 || i % 11 == 0).collect();
+        let chain_out = run_sequential(&T1Uda, marks.iter()).unwrap();
+        let fsm_out = run_sequential(&T1FsmUda, marks.iter()).unwrap();
+        assert_eq!(chain_out, fsm_out);
+        for n in [2, 5, 9] {
+            let par = run_chunked_symbolic(&T1FsmUda, &marks, n, &EngineConfig::default()).unwrap();
+            assert_eq!(par, chain_out, "chunks={n}");
+        }
+    }
+
+    #[test]
+    fn t1_burst_straddles_boundary() {
+        // Spam run split across chunks: the unknown run counter must fork
+        // over its domain and compose correctly.
+        let marks = [false, true, true, true, true, true, false, true];
+        let seq = run_sequential(&T1Uda, marks.iter()).unwrap();
+        assert_eq!(seq, vec![1]);
+        for n in 2..=marks.len() {
+            let par = run_chunked_symbolic(&T1Uda, &marks, n, &EngineConfig::default()).unwrap();
+            assert_eq!(par, seq, "chunks={n}");
+        }
+    }
+}

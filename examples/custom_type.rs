@@ -1,0 +1,111 @@
+//! Extending SYMPLE with a user-defined symbolic data type (§4.5) and
+//! verifying a UDA's behavioural contracts (§5.3).
+//!
+//! `SymMinMax` gives running extrema their own canonical form
+//! (`lb ≤ x ≤ ub ⇒ v = max(x, c)`), turning the branching `Max` UDA into a
+//! zero-fork, single-path summary. `validate_uda` then demonstrates the
+//! runtime verifier catching a UDA that smuggles state outside its
+//! `SymState` struct.
+//!
+//! ```text
+//! cargo run --example custom_type
+//! ```
+
+use std::sync::atomic::{AtomicI64, Ordering};
+
+use symple::core::prelude::*;
+use symple::core::validate::validate_uda;
+use symple::core::{Extremum, SymMinMax};
+
+/// `Max` over the custom type: no `if`, no forks.
+struct MaxUda;
+
+#[derive(Clone, Debug)]
+struct MaxState {
+    max: SymMinMax,
+}
+symple::core::impl_sym_state!(MaxState { max });
+
+impl Uda for MaxUda {
+    type State = MaxState;
+    type Event = i64;
+    type Output = i64;
+    fn init(&self) -> MaxState {
+        MaxState {
+            max: SymMinMax::new(Extremum::Max),
+        }
+    }
+    fn update(&self, s: &mut MaxState, _ctx: &mut SymCtx, e: &i64) {
+        s.max.update(*e);
+    }
+    fn result(&self, s: &MaxState, _ctx: &mut SymCtx) -> i64 {
+        s.max.concrete_value().expect("concrete after composition")
+    }
+}
+
+/// A buggy UDA: it keeps a counter *outside* the aggregation state,
+/// violating §2.1's "capture all side effects in the state".
+struct LeakyUda {
+    hidden: AtomicI64,
+}
+
+#[derive(Clone, Debug)]
+struct LeakyState {
+    v: SymInt,
+}
+symple::core::impl_sym_state!(LeakyState { v });
+
+impl Uda for LeakyUda {
+    type State = LeakyState;
+    type Event = i64;
+    type Output = i64;
+    fn init(&self) -> LeakyState {
+        LeakyState { v: SymInt::new(0) }
+    }
+    fn update(&self, s: &mut LeakyState, ctx: &mut SymCtx, _e: &i64) {
+        let h = self.hidden.fetch_add(1, Ordering::Relaxed);
+        s.v.add(ctx, h % 2);
+    }
+    fn result(&self, s: &LeakyState, _ctx: &mut SymCtx) -> i64 {
+        s.v.concrete_value().unwrap_or(0)
+    }
+}
+
+fn main() {
+    // 1. The custom type at work.
+    let input: Vec<i64> = (0..100_000)
+        .map(|i: i64| (i.wrapping_mul(2_654_435_761)) % 1_000_003)
+        .collect();
+    let uda = MaxUda;
+    let seq = run_sequential(&uda, input.iter()).unwrap();
+    let par = run_chunked_symbolic(&uda, &input, 16, &EngineConfig::default()).unwrap();
+    assert_eq!(seq, par);
+    println!("max over 100k values, 16 symbolic chunks: {par} (≡ sequential ✓)");
+
+    let mut exec = SymbolicExecutor::new(&uda, EngineConfig::default());
+    exec.feed_all(input[..10_000].iter()).unwrap();
+    let (chain, stats) = exec.finish();
+    println!(
+        "one 10k-record chunk: {} path(s), {} fork(s), {}-byte summary",
+        chain.total_paths(),
+        stats.forks,
+        chain.wire_len()
+    );
+    println!("  (the same UDA over a branching SymInt explores 2 paths and forks once per chunk)");
+
+    // 2. The verifier approves the clean UDA…
+    let verdict = validate_uda(&uda, &input[..5_000], &EngineConfig::default()).unwrap();
+    println!("\nvalidate_uda(MaxUda) → {verdict:?}");
+    assert!(verdict.is_none());
+
+    // 3. …and catches the leaky one.
+    let leaky = LeakyUda {
+        hidden: AtomicI64::new(0),
+    };
+    let verdict = validate_uda(&leaky, &input[..100], &EngineConfig::default()).unwrap();
+    println!(
+        "validate_uda(LeakyUda) → {}",
+        verdict.as_ref().map(|v| v.to_string()).unwrap_or_default()
+    );
+    assert!(verdict.is_some());
+}

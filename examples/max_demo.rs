@@ -1,0 +1,103 @@
+//! Figure 3, live: symbolic execution of the `Max` UDA on the chunk
+//! `[5, 3, 10]`, printing the summary after every record, then the
+//! composition of §3.6 (`S₃(S₂(9)) = 10`).
+//!
+//! ```text
+//! cargo run --example max_demo
+//! ```
+
+use symple::core::compose::{apply_summary, compose_summaries};
+use symple::core::prelude::*;
+use symple::core::uda::run_concrete_state;
+
+struct MaxUda;
+
+#[derive(Clone, Debug)]
+struct MaxState {
+    max: SymInt,
+}
+symple::core::impl_sym_state!(MaxState { max });
+
+impl Uda for MaxUda {
+    type State = MaxState;
+    type Event = i64;
+    type Output = i64;
+    fn init(&self) -> MaxState {
+        MaxState {
+            max: SymInt::new(i64::MIN),
+        }
+    }
+    fn update(&self, s: &mut MaxState, ctx: &mut SymCtx, e: &i64) {
+        // The paper's §3.1 running example, verbatim.
+        if s.max.lt(ctx, *e) {
+            s.max.assign(*e);
+        }
+    }
+    fn result(&self, s: &MaxState, _ctx: &mut SymCtx) -> i64 {
+        s.max.concrete_value().expect("concrete after composition")
+    }
+}
+
+fn describe_paths(paths: &[MaxState]) -> String {
+    paths
+        .iter()
+        .map(|p| {
+            let fields = symple::core::state::SymState::fields_ref(p);
+            fields
+                .iter()
+                .map(|f| f.describe())
+                .collect::<Vec<_>>()
+                .join(" | ")
+        })
+        .collect::<Vec<_>>()
+        .join("\n    ")
+}
+
+fn main() {
+    let uda = MaxUda;
+
+    println!("Figure 3: symbolic execution of Max on the second chunk [5, 3, 10]\n");
+    let mut exec = SymbolicExecutor::new(&uda, EngineConfig::default());
+    for e in [5i64, 3, 10] {
+        exec.feed(&e).unwrap();
+        println!("after input {e}:");
+        println!("    {}", describe_paths(exec.live_paths()));
+    }
+    let (chain, stats) = exec.finish();
+    let s2 = chain.summaries()[0].clone();
+    println!(
+        "\nfinal summary S₂ ({} paths, {} forks, {} merges):\n{}",
+        s2.len(),
+        stats.forks,
+        stats.merges,
+        s2.describe()
+    );
+
+    // Third chunk [8, 2, 1] — §3.6's S₃: y < 8 ⇒ 8 ∧ y ≥ 8 ⇒ y.
+    let mut exec = SymbolicExecutor::new(&uda, EngineConfig::default());
+    exec.feed_all([8i64, 2, 1].iter()).unwrap();
+    let s3 = exec.finish().0.summaries()[0].clone();
+    println!("summary S₃ for chunk [8, 2, 1]:\n{}", s3.describe());
+
+    // First chunk runs concretely: [2, 9, 1] → 9.
+    let c1 = run_concrete_state(&uda, [2i64, 9, 1].iter()).unwrap();
+    println!(
+        "concrete first chunk [2, 9, 1] ⇒ max = {:?}",
+        c1.max.concrete_value()
+    );
+
+    // Sequential application: S₃(S₂(9)).
+    let after2 = apply_summary(&s2, &c1).unwrap();
+    let after3 = apply_summary(&s3, &after2).unwrap();
+    println!(
+        "S₃(S₂(9)) = {:?}   (the paper's §3.6 example: 10)",
+        after3.max.concrete_value()
+    );
+
+    // Associative alternative: (S₃ ∘ S₂)(9).
+    let s32 = compose_summaries(&s3, &s2).unwrap();
+    println!("\ncomposed summary S₃ ∘ S₂:\n{}", s32.describe());
+    let composed = apply_summary(&s32, &c1).unwrap();
+    assert_eq!(composed.max.concrete_value(), after3.max.concrete_value());
+    println!("(S₃ ∘ S₂)(9) = {:?} ✓", composed.max.concrete_value());
+}

@@ -1,0 +1,22 @@
+#![warn(missing_docs)]
+
+//! # symple
+//!
+//! Umbrella crate for SYMPLE-rs, a Rust reproduction of *"Parallelizing
+//! User-Defined Aggregations using Symbolic Execution"* (SOSP 2015).
+//!
+//! Re-exports the workspace crates:
+//!
+//! * [`core`] — symbolic data types, exploration engine, summaries;
+//! * [`mapreduce`] — the MapReduce substrate with baseline and SYMPLE jobs;
+//! * [`cluster`] — the cluster cost simulator for the paper's EMR and
+//!   380-node scenarios;
+//! * [`datagen`] — seeded synthetic datasets matching the evaluation
+//!   schemas;
+//! * [`queries`] — the 12 evaluation queries (G1–G4, B1–B3, T1, R1–R4).
+
+pub use symple_cluster as cluster;
+pub use symple_core as core;
+pub use symple_datagen as datagen;
+pub use symple_mapreduce as mapreduce;
+pub use symple_queries as queries;

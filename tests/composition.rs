@@ -1,0 +1,142 @@
+//! Cross-crate composition laws: associativity of summary composition,
+//! wire round-trips through the shuffle, and chain semantics.
+
+use proptest::prelude::*;
+
+use symple::core::compose::{apply_chain, apply_summary, collapse_chain, compose_summaries};
+use symple::core::prelude::*;
+use symple::core::summary::check_validity;
+use symple::core::uda::{run_concrete_state, summarize_chunk, Uda};
+use symple::queries::funnel::FunnelUda;
+use symple::queries::github_q::G3Uda;
+
+type G3State = <G3Uda as Uda>::State;
+
+fn summarize(events: &[u8]) -> Summary<G3State> {
+    let chain = summarize_chunk(&G3Uda, events.iter(), &EngineConfig::default()).unwrap();
+    assert_eq!(chain.len(), 1, "small chunks fit one summary");
+    chain.summaries()[0].clone()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Composition is associative: (c∘b)∘a ≡ c∘(b∘a), checked extensionally
+    /// by applying both to the concrete initial state.
+    #[test]
+    fn composition_associative(
+        a in prop::collection::vec(0u8..10, 1..40),
+        b in prop::collection::vec(0u8..10, 1..40),
+        c in prop::collection::vec(0u8..10, 1..40),
+    ) {
+        let (sa, sb, sc) = (summarize(&a), summarize(&b), summarize(&c));
+        let left = compose_summaries(&sc, &compose_summaries(&sb, &sa).unwrap()).unwrap();
+        let right = compose_summaries(&compose_summaries(&sc, &sb).unwrap(), &sa).unwrap();
+        let init = G3Uda.init();
+        let l = apply_summary(&left, &init).unwrap();
+        let r = apply_summary(&right, &init).unwrap();
+        prop_assert_eq!(l.counts.concrete_elems().unwrap(), r.counts.concrete_elems().unwrap());
+        prop_assert_eq!(l.count.concrete_value(), r.count.concrete_value());
+    }
+
+    /// Applying a composed summary equals applying the parts in order.
+    #[test]
+    fn compose_then_apply_equals_apply_twice(
+        a in prop::collection::vec(0u8..10, 1..40),
+        b in prop::collection::vec(0u8..10, 1..40),
+    ) {
+        let (sa, sb) = (summarize(&a), summarize(&b));
+        let init = G3Uda.init();
+        let seq = apply_summary(&sb, &apply_summary(&sa, &init).unwrap()).unwrap();
+        let composed = apply_summary(&compose_summaries(&sb, &sa).unwrap(), &init).unwrap();
+        prop_assert_eq!(
+            seq.counts.concrete_elems().unwrap(),
+            composed.counts.concrete_elems().unwrap()
+        );
+    }
+
+    /// Summaries survive the wire byte-for-byte semantically.
+    #[test]
+    fn wire_roundtrip_preserves_semantics(
+        events in prop::collection::vec(0u8..10, 0..60),
+        probe in prop::collection::vec(0u8..10, 0..20),
+    ) {
+        let chain = summarize_chunk(&G3Uda, events.iter(), &EngineConfig::default()).unwrap();
+        let mut buf = Vec::new();
+        chain.encode(&mut buf);
+        let template = G3Uda.init();
+        let decoded = SummaryChain::decode(&template, &mut &buf[..]).unwrap();
+        // Apply both to a state reached by a random concrete prefix.
+        let state = run_concrete_state(&G3Uda, probe.iter()).unwrap();
+        let a = apply_chain(&chain, &state).unwrap();
+        let b = apply_chain(&decoded, &state).unwrap();
+        prop_assert_eq!(a.counts.concrete_elems().unwrap(), b.counts.concrete_elems().unwrap());
+        // Re-encoding the decoded chain is byte-identical (canonical form).
+        let mut buf2 = Vec::new();
+        decoded.encode(&mut buf2);
+        prop_assert_eq!(buf, buf2);
+    }
+
+    /// Explored summaries are pairwise-disjoint (validity, §3.2).
+    #[test]
+    fn summaries_are_valid(events in prop::collection::vec(0u8..10, 0..60)) {
+        let chain = summarize_chunk(&G3Uda, events.iter(), &EngineConfig::default()).unwrap();
+        for s in chain.summaries() {
+            prop_assert!(check_validity(s).is_ok());
+        }
+    }
+
+    /// Collapsing a chain symbolically equals applying it sequentially.
+    #[test]
+    fn collapse_equals_apply(
+        a in prop::collection::vec(0u8..10, 1..30),
+        b in prop::collection::vec(0u8..10, 1..30),
+        c in prop::collection::vec(0u8..10, 1..30),
+    ) {
+        let chain = SummaryChain::new(vec![summarize(&a), summarize(&b), summarize(&c)]);
+        let init = G3Uda.init();
+        let applied = apply_chain(&chain, &init).unwrap();
+        let collapsed = apply_summary(&collapse_chain(&chain).unwrap(), &init).unwrap();
+        prop_assert_eq!(
+            applied.counts.concrete_elems().unwrap(),
+            collapsed.counts.concrete_elems().unwrap()
+        );
+    }
+}
+
+#[test]
+fn decode_rejects_corrupted_bytes() {
+    let chain = summarize_chunk(&G3Uda, [1u8, 0, 2].iter(), &EngineConfig::default()).unwrap();
+    let mut buf = Vec::new();
+    chain.encode(&mut buf);
+    let template = G3Uda.init();
+    // Truncations must error, never panic or mis-decode.
+    for cut in 0..buf.len() {
+        let mut rd = &buf[..cut];
+        if let Ok(decoded) = SummaryChain::<G3State>::decode(&template, &mut rd) {
+            // A prefix that happens to decode must at least be smaller.
+            assert!(decoded.total_paths() <= chain.total_paths());
+        }
+    }
+}
+
+#[test]
+fn funnel_summary_roundtrip_with_all_type_families() {
+    // The funnel state mixes SymBool, SymInt and SymVector; make sure a
+    // non-trivial chain survives the wire.
+    let events: Vec<(u8, u64)> = (0..200)
+        .map(|i| ((i % 4) as u8, (i * 7 % 23) as u64))
+        .collect();
+    let chain = summarize_chunk(&FunnelUda, events.iter(), &EngineConfig::default()).unwrap();
+    let mut buf = Vec::new();
+    chain.encode(&mut buf);
+    let template = FunnelUda.init();
+    let decoded = SummaryChain::decode(&template, &mut &buf[..]).unwrap();
+    let init = FunnelUda.init();
+    let a = apply_chain(&chain, &init).unwrap();
+    let b = apply_chain(&decoded, &init).unwrap();
+    assert_eq!(
+        a.ret.concrete_elems().unwrap(),
+        b.ret.concrete_elems().unwrap()
+    );
+}

@@ -1,0 +1,200 @@
+//! Failure injection: errors must propagate cleanly through jobs — never
+//! panic, never silently corrupt results.
+
+use symple::core::engine::{EngineConfig, MergePolicy, SymbolicExecutor};
+use symple::core::prelude::*;
+use symple::core::uda::{run_sequential, Uda};
+use symple::mapreduce::segment::split_into_segments;
+use symple::mapreduce::{run_symple, GroupBy, JobConfig};
+
+/// A UDA whose update overflows once the counter crosses a threshold.
+struct OverflowUda;
+
+#[derive(Clone, Debug)]
+struct OState {
+    v: SymInt,
+}
+symple::core::impl_sym_state!(OState { v });
+
+impl Uda for OverflowUda {
+    type State = OState;
+    type Event = i64;
+    type Output = i64;
+    fn init(&self) -> OState {
+        OState {
+            v: SymInt::new(i64::MAX - 2),
+        }
+    }
+    fn update(&self, s: &mut OState, ctx: &mut SymCtx, _e: &i64) {
+        s.v.add(ctx, 1);
+    }
+    fn result(&self, s: &OState, _ctx: &mut SymCtx) -> i64 {
+        s.v.concrete_value().unwrap_or(0)
+    }
+}
+
+#[test]
+fn overflow_surfaces_as_error_everywhere() {
+    let input = vec![0i64; 10];
+    // Sequential: errors.
+    let seq = run_sequential(&OverflowUda, input.iter());
+    assert!(
+        matches!(seq, Err(Error::ArithmeticOverflow { .. })),
+        "{seq:?}"
+    );
+    // Chunked symbolic: also errors (never a wrong answer).
+    let par = run_chunked_symbolic(&OverflowUda, &input, 3, &EngineConfig::default());
+    assert!(par.is_err());
+}
+
+/// A UDA that explodes: every record forks on a never-bound predicate
+/// with fresh arguments, so no two paths ever merge.
+struct ExplodingUda;
+
+#[derive(Clone, Debug)]
+struct EState {
+    p: SymPred<i64>,
+    v: SymInt,
+}
+symple::core::impl_sym_state!(EState { p, v });
+
+impl Uda for ExplodingUda {
+    type State = EState;
+    type Event = i64;
+    type Output = i64;
+    fn init(&self) -> EState {
+        EState {
+            p: SymPred::new(|a: &i64, b: &i64| a < b).with_max_decisions(64),
+            v: SymInt::new(0),
+        }
+    }
+    fn update(&self, s: &mut EState, ctx: &mut SymCtx, e: &i64) {
+        // Never calls set(): decisions accumulate and fork per record;
+        // distinct added constants keep transfers unmergeable.
+        if s.p.eval(ctx, e) {
+            s.v.add(ctx, *e);
+        }
+    }
+    fn result(&self, s: &EState, _ctx: &mut SymCtx) -> i64 {
+        s.v.concrete_value().unwrap_or(0)
+    }
+}
+
+#[test]
+fn per_record_explosion_bound_trips() {
+    let cfg = EngineConfig {
+        max_paths_per_record: 8,
+        max_total_paths: 1_000,
+        merge_policy: MergePolicy::Never,
+    };
+    let mut exec = SymbolicExecutor::new(&ExplodingUda, cfg);
+    let mut tripped = false;
+    for e in 1..32i64 {
+        match exec.feed(&e) {
+            Err(Error::PathExplosion { .. }) => {
+                tripped = true;
+                break;
+            }
+            Err(other) => panic!("unexpected error {other}"),
+            Ok(()) => {}
+        }
+    }
+    assert!(tripped, "the per-record bound must eventually trip");
+}
+
+#[test]
+fn restart_fallback_tames_the_same_uda() {
+    // With the restart bound engaged the same UDA completes: each restart
+    // rebinds the unknown state and bounds the live paths (§5.2's
+    // "fallback to no parallelization in the worst case").
+    let cfg = EngineConfig {
+        max_paths_per_record: 1_000,
+        max_total_paths: 4,
+        merge_policy: MergePolicy::Never,
+    };
+    let mut exec = SymbolicExecutor::new(&ExplodingUda, cfg);
+    for e in 1..64i64 {
+        exec.feed(&e).unwrap();
+    }
+    let (chain, stats) = exec.finish();
+    assert!(stats.restarts > 0);
+    assert!(chain.len() > 1);
+}
+
+#[test]
+fn predicate_window_bound_trips() {
+    struct TightWindow;
+    #[derive(Clone, Debug)]
+    struct WState {
+        p: SymPred<i64>,
+        v: SymInt,
+    }
+    symple::core::impl_sym_state!(WState { p, v });
+    impl Uda for TightWindow {
+        type State = WState;
+        type Event = i64;
+        type Output = ();
+        fn init(&self) -> WState {
+            WState {
+                p: SymPred::new(|a: &i64, b: &i64| a < b).with_max_decisions(2),
+                v: SymInt::new(0),
+            }
+        }
+        fn update(&self, s: &mut WState, ctx: &mut SymCtx, e: &i64) {
+            // The outcome feeds the transfer function, so the two fork
+            // branches stay distinct and cannot merge away (a fork whose
+            // outcome is never observed merges back immediately — the
+            // decision simplification of §3.5 — and never hits the bound).
+            if s.p.eval(ctx, e) {
+                s.v.add(ctx, *e);
+            }
+        }
+        fn result(&self, _s: &WState, _ctx: &mut SymCtx) {}
+    }
+    let mut exec = SymbolicExecutor::new(&TightWindow, EngineConfig::default());
+    let mut tripped = false;
+    for e in 0..8i64 {
+        if let Err(Error::PredicateWindowExceeded { .. }) = exec.feed(&e) {
+            tripped = true;
+            break;
+        }
+    }
+    assert!(tripped);
+}
+
+struct FaultyGroup;
+impl GroupBy for FaultyGroup {
+    type Record = i64;
+    type Key = u8;
+    type Event = i64;
+    fn extract(&self, r: &i64) -> Option<(u8, i64)> {
+        Some((1, *r))
+    }
+}
+
+#[test]
+fn job_level_error_propagation() {
+    // An overflowing UDA inside a full MapReduce job must return Err from
+    // the job, not panic a worker thread.
+    let records = vec![0i64; 12];
+    let segments = split_into_segments(&records, 3, 8);
+    let out = run_symple(&FaultyGroup, &OverflowUda, &segments, &JobConfig::default());
+    assert!(out.is_err(), "{out:?}");
+}
+
+#[test]
+fn corrupted_summary_bytes_error_cleanly() {
+    use symple::core::summary::SummaryChain;
+    use symple::core::uda::summarize_chunk;
+    let chain = summarize_chunk(&ExplodingUda, [].iter(), &EngineConfig::default()).unwrap();
+    let mut buf = Vec::new();
+    chain.encode(&mut buf);
+    // Flip every byte in turn; decoding must never panic.
+    let template = ExplodingUda.init();
+    for i in 0..buf.len() {
+        let mut corrupted = buf.clone();
+        corrupted[i] ^= 0xff;
+        let mut rd = &corrupted[..];
+        let _ = SummaryChain::<EState>::decode(&template, &mut rd);
+    }
+}

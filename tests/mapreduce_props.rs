@@ -1,0 +1,130 @@
+//! Property tests over the MapReduce substrate itself: arbitrary record
+//! streams and key distributions through every backend must agree, with
+//! order preserved per key however the shuffle slices it.
+
+use proptest::prelude::*;
+
+use symple::core::prelude::*;
+use symple::mapreduce::segment::split_into_segments;
+use symple::mapreduce::{
+    run_baseline, run_baseline_sorted, run_sequential_job, run_symple, run_symple_streaming,
+    GroupBy, JobConfig,
+};
+
+/// Records are `(key, value)` pairs; order within a key is load-bearing.
+struct ByKey;
+impl GroupBy for ByKey {
+    type Record = (u8, i64);
+    type Key = u8;
+    type Event = i64;
+    fn extract(&self, r: &(u8, i64)) -> Option<(u8, i64)> {
+        Some(*r)
+    }
+}
+
+/// An order-sensitive UDA: records alternating rises/falls, counts
+/// direction changes and reports the positions of the first few.
+struct Turns;
+
+#[derive(Clone, Debug)]
+struct TurnState {
+    prev: SymPred<i64>,
+    rising: SymBool,
+    turns: SymInt,
+    marks: SymVector<i64>,
+}
+symple::core::impl_sym_state!(TurnState {
+    prev,
+    rising,
+    turns,
+    marks
+});
+
+impl Uda for Turns {
+    type State = TurnState;
+    type Event = i64;
+    type Output = (i64, Vec<i64>);
+    fn init(&self) -> TurnState {
+        TurnState {
+            prev: SymPred::new(|p: &i64, c: &i64| c >= p).with_initial_outcome(true),
+            rising: SymBool::new(true),
+            turns: SymInt::new(0),
+            marks: SymVector::new(),
+        }
+    }
+    fn update(&self, s: &mut TurnState, ctx: &mut SymCtx, e: &i64) {
+        let now_rising = s.prev.eval(ctx, e);
+        let was_rising = s.rising.get(ctx);
+        if now_rising != was_rising {
+            s.turns += 1;
+            if s.turns.le(ctx, 3) {
+                s.marks.push_int(&s.turns);
+            }
+        }
+        s.rising.assign(now_rising);
+        s.prev.set(*e);
+    }
+    fn result(&self, s: &TurnState, _ctx: &mut SymCtx) -> (i64, Vec<i64>) {
+        (
+            s.turns.concrete_value().expect("concrete"),
+            s.marks.concrete_elems().expect("concrete"),
+        )
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Every backend agrees on arbitrary key/value streams and segmenting.
+    #[test]
+    fn all_backends_agree_on_arbitrary_streams(
+        records in prop::collection::vec((0u8..6, -50i64..50), 0..300),
+        segments in 1usize..10,
+        reducers in 1usize..6,
+    ) {
+        let segs = split_into_segments(&records, segments, 32);
+        let cfg = JobConfig::default().with_reducers(reducers);
+        let seq = run_sequential_job(&ByKey, &Turns, &segs).unwrap();
+        let base = run_baseline(&ByKey, &Turns, &segs, &cfg).unwrap();
+        let sorted = run_baseline_sorted(&ByKey, &Turns, &segs, &cfg).unwrap();
+        let sym = run_symple(&ByKey, &Turns, &segs, &cfg).unwrap();
+        let streaming = run_symple_streaming(&ByKey, &Turns, &segs, &cfg).unwrap();
+        prop_assert_eq!(&seq.results, &base.results);
+        prop_assert_eq!(&seq.results, &sorted.results);
+        prop_assert_eq!(&seq.results, &sym.results);
+        prop_assert_eq!(&seq.results, &streaming.results);
+    }
+
+    /// Skewed streams: one hot key plus sparse others.
+    #[test]
+    fn hot_key_skew(
+        hot in prop::collection::vec(-50i64..50, 0..200),
+        cold in prop::collection::vec((1u8..6, -50i64..50), 0..20),
+        segments in 1usize..8,
+    ) {
+        let mut records: Vec<(u8, i64)> = hot.iter().map(|v| (0u8, *v)).collect();
+        // Interleave the cold records deterministically.
+        for (i, c) in cold.iter().enumerate() {
+            records.insert((i * 7) % (records.len() + 1), *c);
+        }
+        let segs = split_into_segments(&records, segments, 32);
+        let cfg = JobConfig::default();
+        let base = run_baseline(&ByKey, &Turns, &segs, &cfg).unwrap();
+        let sym = run_symple(&ByKey, &Turns, &segs, &cfg).unwrap();
+        prop_assert_eq!(base.results, sym.results);
+    }
+
+    /// Streaming shuffle byte accounting matches the batch job exactly.
+    #[test]
+    fn streaming_bytes_match_batch(
+        records in prop::collection::vec((0u8..4, -30i64..30), 1..200),
+        segments in 1usize..6,
+    ) {
+        let segs = split_into_segments(&records, segments, 32);
+        let cfg = JobConfig::default();
+        let sym = run_symple(&ByKey, &Turns, &segs, &cfg).unwrap();
+        let streaming = run_symple_streaming(&ByKey, &Turns, &segs, &cfg).unwrap();
+        prop_assert_eq!(sym.metrics.shuffle_bytes, streaming.metrics.shuffle_bytes);
+        prop_assert_eq!(sym.metrics.shuffle_records, streaming.metrics.shuffle_records);
+    }
+}

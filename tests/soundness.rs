@@ -1,0 +1,229 @@
+//! The fundamental soundness property of symbolic parallelism (§2.3):
+//! for any UDA, any input, and **any chunking** of that input, composing
+//! the chunks' symbolic summaries yields exactly the sequential result —
+//! no under- or over-approximation.
+
+use proptest::prelude::*;
+
+use symple::core::prelude::*;
+use symple::core::uda::run_sequential;
+use symple::queries::bing_q::{B3Uda, GapUda};
+use symple::queries::funnel::FunnelUda;
+use symple::queries::github_q::{G1Uda, G2Uda, G3Uda, G4Uda};
+use symple::queries::redshift_q::{R1Uda, R2Uda, R4Uda};
+use symple::queries::sessions::GpsSessionsUda;
+use symple::queries::twitter_q::T1Uda;
+
+/// Splits `input` into the given number of chunks and checks equality of
+/// chunked-symbolic and sequential execution.
+fn check<U>(uda: &U, input: &[U::Event], chunks: usize)
+where
+    U: Uda,
+    U::Output: PartialEq + std::fmt::Debug,
+{
+    let seq = run_sequential(uda, input.iter()).expect("sequential");
+    let par = run_chunked_symbolic(uda, input, chunks, &EngineConfig::default()).expect("chunked");
+    assert_eq!(par, seq, "chunks={chunks} len={}", input.len());
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn g1_only_push(ops in prop::collection::vec(0u8..10, 0..120), chunks in 1usize..10) {
+        check(&G1Uda, &ops, chunks);
+    }
+
+    #[test]
+    fn g2_preceding_delete(ops in prop::collection::vec(0u8..10, 0..120), chunks in 1usize..10) {
+        check(&G2Uda, &ops, chunks);
+    }
+
+    #[test]
+    fn g3_ops_in_pull(ops in prop::collection::vec(0u8..10, 0..120), chunks in 1usize..10) {
+        check(&G3Uda, &ops, chunks);
+    }
+
+    #[test]
+    fn g4_branch_gaps(
+        events in prop::collection::vec((0u8..10, 0i64..100_000), 0..120),
+        chunks in 1usize..10,
+    ) {
+        check(&G4Uda, &events, chunks);
+    }
+
+    #[test]
+    fn gap_detector(
+        // Monotone timestamps with random gaps around the 120s threshold.
+        gaps in prop::collection::vec(0i64..400, 0..120),
+        chunks in 1usize..10,
+    ) {
+        let mut ts = Vec::with_capacity(gaps.len());
+        let mut t = 0i64;
+        for g in gaps {
+            t += g;
+            ts.push(t);
+        }
+        check(&GapUda::new(120), &ts, chunks);
+    }
+
+    #[test]
+    fn b3_sessions(
+        gaps in prop::collection::vec(0i64..400, 0..120),
+        chunks in 1usize..10,
+    ) {
+        let mut ts = Vec::with_capacity(gaps.len());
+        let mut t = 0i64;
+        for g in gaps {
+            t += g;
+            ts.push(t);
+        }
+        check(&B3Uda, &ts, chunks);
+    }
+
+    #[test]
+    fn t1_spam_runs(marks in prop::collection::vec(any::<bool>(), 0..150), chunks in 1usize..10) {
+        check(&T1Uda, &marks, chunks);
+    }
+
+    #[test]
+    fn r1_counting(n in 0usize..300, chunks in 1usize..10) {
+        let events = vec![(); n];
+        check(&R1Uda, &events, chunks);
+    }
+
+    #[test]
+    fn r2_single_country(countries in prop::collection::vec(0u32..5, 0..120), chunks in 1usize..10) {
+        check(&R2Uda, &countries, chunks);
+    }
+
+    #[test]
+    fn r4_campaign_runs(camps in prop::collection::vec(0i64..4, 0..120), chunks in 1usize..10) {
+        check(&R4Uda, &camps, chunks);
+    }
+
+    #[test]
+    fn funnel_figure1(
+        events in prop::collection::vec((0u8..4, 0u64..6), 0..150),
+        chunks in 1usize..10,
+    ) {
+        check(&FunnelUda, &events, chunks);
+    }
+
+    #[test]
+    fn gps_sessions(
+        coords in prop::collection::vec((-3.0f64..3.0, -3.0f64..3.0), 0..100),
+        chunks in 1usize..10,
+    ) {
+        check(&GpsSessionsUda, &coords, chunks);
+    }
+
+    #[test]
+    fn engine_configs_agree(
+        ops in prop::collection::vec(0u8..10, 0..100),
+        chunks in 1usize..8,
+        max_total in 1usize..12,
+        policy in 0u8..3,
+    ) {
+        // Soundness must hold under any explosion bound and merge policy.
+        let policy = match policy {
+            0 => MergePolicy::Eager,
+            1 => MergePolicy::HighWater,
+            _ => MergePolicy::Never,
+        };
+        let cfg = EngineConfig {
+            max_total_paths: max_total,
+            merge_policy: policy,
+            ..EngineConfig::default()
+        };
+        let seq = run_sequential(&G3Uda, ops.iter()).unwrap();
+        let par = run_chunked_symbolic(&G3Uda, &ops, chunks, &cfg).unwrap();
+        prop_assert_eq!(par, seq);
+    }
+}
+
+/// Two independent black-box predicates in one state: their decision
+/// lists must constrain and compose independently.
+struct TwoPreds;
+
+#[derive(Clone, Debug)]
+struct TwoPredState {
+    close: SymPred<i64>,
+    rising: SymPred<i64>,
+    score: SymInt,
+}
+symple::core::impl_sym_state!(TwoPredState {
+    close,
+    rising,
+    score
+});
+
+impl Uda for TwoPreds {
+    type State = TwoPredState;
+    type Event = i64;
+    type Output = i64;
+    fn init(&self) -> TwoPredState {
+        TwoPredState {
+            close: SymPred::new(|p: &i64, c: &i64| (c - p).abs() < 10),
+            // `rising` binds rarely, so give its window room for the
+            // decisions that pile up while it is unknown.
+            rising: SymPred::new(|p: &i64, c: &i64| c > p).with_max_decisions(128),
+            score: SymInt::new(0),
+        }
+    }
+    fn update(&self, s: &mut TwoPredState, ctx: &mut SymCtx, e: &i64) {
+        let near = s.close.eval(ctx, e);
+        let up = s.rising.eval(ctx, e);
+        if near {
+            s.score.add(ctx, 1);
+        }
+        if up {
+            s.score.add(ctx, 3);
+        }
+        // The predicates bind on different cadences: `close` every event,
+        // `rising` only on even events — so one can stay unknown longer.
+        s.close.set(*e);
+        if e % 2 == 0 {
+            s.rising.set(*e);
+        }
+    }
+    fn result(&self, s: &TwoPredState, _ctx: &mut SymCtx) -> i64 {
+        s.score.concrete_value().expect("concrete")
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn two_independent_predicates(
+        events in prop::collection::vec(-40i64..40, 0..80),
+        chunks in 1usize..10,
+    ) {
+        check(&TwoPreds, &events, chunks);
+    }
+}
+
+/// Exhaustive small-case sweep: every chunking of every short input for a
+/// state machine mixing all three symbolic type families.
+#[test]
+fn exhaustive_small_inputs_g3() {
+    for len in 0..7usize {
+        let mut input = vec![0u8; len];
+        // Enumerate all op sequences over a 4-op alphabet (Push, PullOpen,
+        // PullClose, Delete).
+        let alphabet = [0u8, 1, 2, 3];
+        let total = alphabet.len().pow(len as u32);
+        for code in 0..total {
+            let mut c = code;
+            for slot in input.iter_mut() {
+                *slot = alphabet[c % alphabet.len()];
+                c /= alphabet.len();
+            }
+            for chunks in 1..=len.max(1) {
+                check(&G3Uda, &input, chunks);
+                check(&G2Uda, &input, chunks);
+            }
+        }
+    }
+}

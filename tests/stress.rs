@@ -1,0 +1,71 @@
+//! Larger-scale stress checks. The heavyweight cases are `#[ignore]`d so
+//! `cargo test` stays fast; run them with `cargo test --release -- --ignored`.
+
+use symple::core::prelude::*;
+use symple::core::uda::run_sequential;
+use symple::mapreduce::JobConfig;
+use symple::queries::bing_q::GapUda;
+use symple::queries::{all_queries, Backend, DataScale};
+
+#[test]
+fn long_single_group_chunking() {
+    // 50k events through one key, many chunk counts: the engine's
+    // buffer-recycling and persistent vectors must hold up.
+    let ts: Vec<i64> = (0..50_000i64)
+        .map(|i| i * 40 + (i % 13) * 25 + if i % 997 == 0 { 10_000 } else { 0 })
+        .collect();
+    let uda = GapUda::new(120);
+    let seq = run_sequential(&uda, ts.iter()).unwrap();
+    for n in [2usize, 17, 256] {
+        let par = run_chunked_symbolic(&uda, &ts, n, &EngineConfig::default()).unwrap();
+        assert_eq!(par, seq, "chunks={n}");
+    }
+}
+
+#[test]
+fn many_tiny_chunks() {
+    // One chunk per record: worst case for summary overhead, still exact.
+    let ts: Vec<i64> = (0..2_000i64).map(|i| i * 90).collect();
+    let uda = GapUda::new(120);
+    let seq = run_sequential(&uda, ts.iter()).unwrap();
+    let par = run_chunked_symbolic(&uda, &ts, ts.len(), &EngineConfig::default()).unwrap();
+    assert_eq!(par, seq);
+}
+
+#[test]
+#[ignore = "heavyweight: ~1M records across all queries"]
+fn all_queries_at_scale() {
+    let job = JobConfig::default();
+    for q in all_queries() {
+        let id = q.info().id;
+        let s = DataScale {
+            records: 1_000_000,
+            groups: 10_000,
+            segments: 16,
+            seed: 0xbeef,
+            parse_lines: false,
+        };
+        let base = q.run(&s, Backend::Baseline, &job).unwrap();
+        let sym = q.run(&s, Backend::Symple, &job).unwrap();
+        assert_eq!(base.output_hash, sym.output_hash, "{id}");
+    }
+}
+
+#[test]
+#[ignore = "heavyweight: parse-heavy text path at scale"]
+fn parse_lines_at_scale() {
+    let job = JobConfig::default();
+    for id in ["G3", "B3", "R4", "T1"] {
+        let q = symple::queries::runner_by_id(id).unwrap();
+        let s = DataScale {
+            records: 500_000,
+            groups: 5_000,
+            segments: 12,
+            seed: 0xace,
+            parse_lines: true,
+        };
+        let base = q.run(&s, Backend::Baseline, &job).unwrap();
+        let sym = q.run(&s, Backend::Symple, &job).unwrap();
+        assert_eq!(base.output_hash, sym.output_hash, "{id}");
+    }
+}
