@@ -80,6 +80,7 @@ pub mod ctx;
 pub mod engine;
 pub mod error;
 pub mod interval;
+pub mod rng;
 pub mod state;
 pub mod summary;
 pub mod types;
@@ -93,6 +94,7 @@ pub use ctx::{ChoiceVector, SymCtx};
 pub use engine::{EngineConfig, ExploreStats, MergePolicy, SymbolicExecutor};
 pub use error::{Error, Result};
 pub use interval::Interval;
+pub use rng::Rng64;
 pub use state::{FieldId, SymField, SymState};
 pub use summary::{Summary, SummaryChain};
 pub use types::{

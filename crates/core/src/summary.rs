@@ -115,6 +115,23 @@ impl<S: SymState> Summary<S> {
         Ok(Summary { paths })
     }
 
+    /// Canonical wire encoding as an owned buffer.
+    ///
+    /// The wire form is deterministic — field order and varint widths are
+    /// fixed — so two summaries are semantically interchangeable for a
+    /// re-executed map attempt iff their bytes match. The differential
+    /// oracle leans on this to check attempt determinism.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut buf = Vec::new();
+        self.encode(&mut buf);
+        buf
+    }
+
+    /// Whether two summaries have identical canonical wire bytes.
+    pub fn byte_eq(&self, other: &Summary<S>) -> bool {
+        self.to_bytes() == other.to_bytes()
+    }
+
     /// Multi-line rendering of the summary's canonical forms, used by the
     /// paper-figure demos (e.g. Figure 3).
     pub fn describe(&self) -> String {
@@ -194,9 +211,19 @@ impl<S: SymState> SummaryChain<S> {
 
     /// Encoded size in bytes (shuffle accounting).
     pub fn wire_len(&self) -> usize {
+        self.to_bytes().len()
+    }
+
+    /// Canonical wire encoding as an owned buffer (see [`Summary::to_bytes`]).
+    pub fn to_bytes(&self) -> Vec<u8> {
         let mut buf = Vec::new();
         self.encode(&mut buf);
-        buf.len()
+        buf
+    }
+
+    /// Whether two chains have identical canonical wire bytes.
+    pub fn byte_eq(&self, other: &SummaryChain<S>) -> bool {
+        self.to_bytes() == other.to_bytes()
     }
 }
 

@@ -1,0 +1,241 @@
+//! In-tree, dependency-free subset of the `criterion` crate API.
+//!
+//! The CI environment for this workspace has no access to crates.io, so the
+//! micro-benchmarks under `crates/bench/benches/` compile against this shim
+//! instead of the real crate. It implements exactly the surface those
+//! benches use — `criterion_group!` / `criterion_main!`, benchmark groups
+//! with throughput annotations, and `Bencher::iter` — with simple
+//! wall-clock timing (warmup, then a fixed-duration measurement loop) and a
+//! plain-text median/mean report. There is no statistical analysis, HTML
+//! output, or baseline comparison.
+
+use std::time::{Duration, Instant};
+
+/// Benchmark registry and runner (the `c` in `fn bench(c: &mut Criterion)`).
+pub struct Criterion {
+    warmup: Duration,
+    measure: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Criterion {
+        Criterion {
+            warmup: Duration::from_millis(300),
+            measure: Duration::from_millis(1000),
+        }
+    }
+}
+
+impl Criterion {
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            c: self,
+            name: name.into(),
+            throughput: None,
+        }
+    }
+
+    /// Overrides the measurement duration per benchmark.
+    pub fn measurement_time(mut self, d: Duration) -> Criterion {
+        self.measure = d;
+        self
+    }
+
+    /// Accepted for API compatibility; this shim has no sample count.
+    pub fn sample_size(self, _n: usize) -> Criterion {
+        self
+    }
+}
+
+/// Throughput annotation echoed in the report.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Input elements processed per iteration.
+    Elements(u64),
+    /// Input bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// Parameterized benchmark id (`BenchmarkId::from_parameter(n)`).
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// An id rendered from the benchmark's parameter value.
+    pub fn from_parameter(p: impl std::fmt::Display) -> BenchmarkId {
+        BenchmarkId { id: p.to_string() }
+    }
+
+    /// A `function_name/parameter` id.
+    pub fn new(name: impl std::fmt::Display, p: impl std::fmt::Display) -> BenchmarkId {
+        BenchmarkId {
+            id: format!("{name}/{p}"),
+        }
+    }
+}
+
+impl std::fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.id)
+    }
+}
+
+/// A named group of benchmarks sharing a throughput annotation.
+pub struct BenchmarkGroup<'c> {
+    c: &'c mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the per-iteration throughput used in the report.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Runs one benchmark.
+    pub fn bench_function<F>(&mut self, id: impl std::fmt::Display, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut b = Bencher {
+            warmup: self.c.warmup,
+            measure: self.c.measure,
+            samples: Vec::new(),
+        };
+        f(&mut b);
+        b.report(&self.name, &id.to_string(), self.throughput);
+        self
+    }
+
+    /// Runs one benchmark with an explicit input value.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        self.bench_function(id, |b| f(b, input))
+    }
+
+    /// Ends the group (no-op; exists for API compatibility).
+    pub fn finish(&mut self) {}
+}
+
+/// Timing loop handed to each benchmark closure.
+pub struct Bencher {
+    warmup: Duration,
+    measure: Duration,
+    samples: Vec<Duration>,
+}
+
+impl Bencher {
+    /// Times `routine`, warm then measured, recording per-call samples.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Warmup: run until the warmup budget elapses, and size batches so
+        // a single sample is neither trivially short nor over-long.
+        let warm_start = Instant::now();
+        let mut calls = 0u64;
+        while warm_start.elapsed() < self.warmup {
+            std::hint::black_box(routine());
+            calls += 1;
+        }
+        let per_call = warm_start.elapsed() / calls.max(1) as u32;
+
+        let measure_start = Instant::now();
+        while measure_start.elapsed() < self.measure {
+            let t = Instant::now();
+            std::hint::black_box(routine());
+            self.samples.push(t.elapsed());
+        }
+        let _ = per_call;
+    }
+
+    fn report(&self, group: &str, id: &str, throughput: Option<Throughput>) {
+        if self.samples.is_empty() {
+            println!("{group}/{id}: no samples");
+            return;
+        }
+        let mut sorted = self.samples.clone();
+        sorted.sort();
+        let median = sorted[sorted.len() / 2];
+        let total: Duration = sorted.iter().sum();
+        let mean = total / sorted.len() as u32;
+        let rate = match throughput {
+            Some(Throughput::Elements(n)) if median > Duration::ZERO => {
+                format!(" ({:.1} Melem/s)", n as f64 / median.as_secs_f64() / 1e6)
+            }
+            Some(Throughput::Bytes(n)) if median > Duration::ZERO => {
+                format!(
+                    " ({:.1} MiB/s)",
+                    n as f64 / median.as_secs_f64() / (1 << 20) as f64
+                )
+            }
+            _ => String::new(),
+        };
+        println!(
+            "{group}/{id}: median {median:?}, mean {mean:?}, {} samples{rate}",
+            sorted.len()
+        );
+    }
+}
+
+/// Re-export point so `use criterion::black_box` keeps working.
+pub use std::hint::black_box;
+
+/// Declares a group of benchmark functions.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut c = $crate::Criterion::default();
+            $($target(&mut c);)+
+        }
+    };
+}
+
+/// Declares the benchmark harness entry point.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:ident),+ $(,)?) => {
+        fn main() {
+            // `cargo test` runs bench targets with `--test`; skip the timed
+            // loops there so test runs stay fast.
+            if std::env::args().any(|a| a == "--test") {
+                return;
+            }
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_runs_and_reports() {
+        let mut c = Criterion::default().measurement_time(Duration::from_millis(10));
+        c.warmup = Duration::from_millis(5);
+        let mut g = c.benchmark_group("shim");
+        g.throughput(Throughput::Elements(100));
+        let mut ran = 0u64;
+        g.bench_function("smoke", |b| {
+            b.iter(|| {
+                ran += 1;
+                ran
+            })
+        });
+        g.bench_with_input(BenchmarkId::from_parameter(42), &7u64, |b, i| {
+            b.iter(|| i * 2)
+        });
+        g.finish();
+        assert!(ran > 0);
+    }
+}

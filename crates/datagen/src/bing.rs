@@ -9,8 +9,7 @@
 //! * **local outages** — windows in which one geographic area fails (B2);
 //! * **user sessions** — per-user query bursts with < 2-minute gaps (B3).
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use symple_core::rng::Rng64 as StdRng;
 use symple_core::wire::{Wire, WireError};
 
 /// One query-log row.

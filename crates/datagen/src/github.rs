@@ -7,8 +7,7 @@
 //! are created and deleted, and a fraction of repositories see only pushes
 //! (the G1 pattern).
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use symple_core::rng::Rng64 as StdRng;
 use symple_core::wire::{self, Wire, WireError};
 
 /// A repository operation kind.

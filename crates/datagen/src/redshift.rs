@@ -9,8 +9,7 @@
 //! * serving gaps of more than an hour per advertiser (R3);
 //! * runs in which only a single campaign of an advertiser shows (R4).
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use symple_core::rng::Rng64 as StdRng;
 use symple_core::wire::{Wire, WireError};
 
 /// One ad impression row (the four used columns).

@@ -7,8 +7,7 @@
 //! start clean and, for a configurable fraction of hashtags, flip into a
 //! spam burst once the (simulated) spam classifier catches on.
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use symple_core::rng::Rng64 as StdRng;
 use symple_core::wire::{Wire, WireError};
 
 /// One tweet row.

@@ -4,8 +4,7 @@
 //! Used by the `purchase_funnel` example and the quickstart tests rather
 //! than the evaluation figures; kept deliberately simple.
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use symple_core::rng::Rng64 as StdRng;
 use symple_core::wire::{self, Wire, WireError};
 
 /// What a user did.

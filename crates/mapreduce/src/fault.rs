@@ -98,6 +98,68 @@ where
     run_symple_inner(g, uda, segments, cfg, Some(injector))
 }
 
+/// Side-by-side outcome of a clean run and a fault-injected re-run of the
+/// same SYMPLE job: the raw material for determinism checks.
+///
+/// Hadoop-style fault tolerance is only sound when a re-executed map
+/// attempt reproduces its predecessor exactly — same results *and* same
+/// shuffle bytes. This probe runs the job twice (without and with the
+/// [`FaultPlan`]) and exposes both outputs plus the retry count, so
+/// harnesses like `symple-oracle` can assert byte-level determinism
+/// instead of trusting it.
+#[derive(Debug)]
+pub struct FaultProbe<K, O> {
+    /// Output of the failure-free run.
+    pub clean: JobOutput<K, O>,
+    /// Output of the run with injected crashes.
+    pub faulty: JobOutput<K, O>,
+    /// Re-executions the plan actually triggered.
+    pub retries: u64,
+}
+
+impl<K: PartialEq, O: PartialEq> FaultProbe<K, O> {
+    /// Whether both runs produced identical per-key results.
+    pub fn results_match(&self) -> bool {
+        self.clean.results == self.faulty.results
+    }
+
+    /// Whether re-executed attempts pushed byte-identical data through the
+    /// shuffle (counts and byte totals both match).
+    pub fn shuffle_deterministic(&self) -> bool {
+        self.clean.metrics.shuffle_bytes == self.faulty.metrics.shuffle_bytes
+            && self.clean.metrics.shuffle_records == self.faulty.metrics.shuffle_records
+    }
+
+    /// The full determinism claim the fault-tolerance story rests on.
+    pub fn is_deterministic(&self) -> bool {
+        self.results_match() && self.shuffle_deterministic()
+    }
+}
+
+/// Runs the job twice — clean, then with `plan`'s crashes injected — and
+/// returns both outputs for comparison.
+pub fn probe_fault_determinism<G, U>(
+    g: &G,
+    uda: &U,
+    segments: &[Segment<G::Record>],
+    cfg: &JobConfig,
+    plan: FaultPlan,
+) -> Result<FaultProbe<G::Key, U::Output>>
+where
+    G: GroupBy,
+    U: Uda<Event = G::Event>,
+    U::Output: Send,
+{
+    let clean = run_symple_inner(g, uda, segments, cfg, None)?;
+    let injector = FaultInjector::new(plan);
+    let faulty = run_symple_with_faults(g, uda, segments, cfg, &injector)?;
+    Ok(FaultProbe {
+        clean,
+        faulty,
+        retries: injector.retries(),
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -181,6 +243,24 @@ mod tests {
         let faulty = run_symple_with_faults(&ByMod, &SumsUda, &segments, &cfg, &injector).unwrap();
         assert_eq!(injector.retries(), 2);
         assert_eq!(clean.results, faulty.results);
+    }
+
+    #[test]
+    fn probe_reports_determinism() {
+        let records: Vec<i64> = (0..1_200).map(|i| (i * 29 + 11) % 83).collect();
+        let segments = split_into_segments(&records, 5, 64);
+        let probe = probe_fault_determinism(
+            &ByMod,
+            &SumsUda,
+            &segments,
+            &JobConfig::default(),
+            FaultPlan::fail_once([1, 3]),
+        )
+        .unwrap();
+        assert_eq!(probe.retries, 2);
+        assert!(probe.results_match());
+        assert!(probe.shuffle_deterministic());
+        assert!(probe.is_deterministic());
     }
 
     #[test]

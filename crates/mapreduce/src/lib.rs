@@ -81,7 +81,9 @@ pub mod symple_job;
 
 pub use baseline::{run_baseline, run_baseline_sorted};
 pub use chain::run_two_stage;
-pub use fault::{run_symple_with_faults, FaultInjector, FaultPlan};
+pub use fault::{
+    probe_fault_determinism, run_symple_with_faults, FaultInjector, FaultPlan, FaultProbe,
+};
 pub use groupby::{GroupBy, Key};
 pub use job::{JobConfig, JobOutput, ReduceStrategy};
 pub use metrics::JobMetrics;

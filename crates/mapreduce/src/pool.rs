@@ -5,9 +5,8 @@
 //! output order is deterministic regardless of scheduling.
 
 use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
 use std::time::{Duration, Instant};
-
-use parking_lot::Mutex;
 
 /// The outcome of one pool phase.
 #[derive(Debug, Clone, Copy, Default)]
@@ -55,13 +54,13 @@ where
                     if i >= n {
                         break;
                     }
-                    let item = slots[i].lock().take().expect("task taken once");
+                    let item = slots[i].lock().unwrap().take().expect("task taken once");
                     let start = Instant::now();
                     let r = f(i, item);
                     let took = start.elapsed();
                     busy += took;
                     longest = longest.max(took);
-                    *results[i].lock() = Some(r);
+                    *results[i].lock().unwrap() = Some(r);
                 }
                 cpu_nanos.fetch_add(busy.as_nanos() as usize, Ordering::Relaxed);
                 max_task_nanos.fetch_max(longest.as_nanos() as usize, Ordering::Relaxed);
@@ -76,7 +75,7 @@ where
     };
     let out = results
         .into_iter()
-        .map(|m| m.into_inner().expect("task completed"))
+        .map(|m| m.into_inner().unwrap().expect("task completed"))
         .collect();
     (out, timing)
 }

@@ -11,9 +11,8 @@
 //! equivalent and simpler.
 
 use std::collections::BTreeMap;
+use std::sync::mpsc;
 use std::time::Instant;
-
-use crossbeam::channel;
 
 use symple_core::compose::apply_chain;
 use symple_core::engine::{ExploreStats, SymbolicExecutor};
@@ -63,7 +62,7 @@ where
     let mut receivers = Vec::with_capacity(num_reducers);
     for _ in 0..num_reducers {
         // Bounded channels provide the back-pressure a real shuffle has.
-        let (tx, rx) = channel::bounded::<Emission<G::Key>>(1024);
+        let (tx, rx) = mpsc::sync_channel::<Emission<G::Key>>(1024);
         senders.push(tx);
         receivers.push(rx);
     }
@@ -167,7 +166,7 @@ fn map_stream<G, U>(
     uda: &U,
     seg: &Segment<G::Record>,
     cfg: &JobConfig,
-    senders: &[channel::Sender<Emission<G::Key>>],
+    senders: &[mpsc::SyncSender<Emission<G::Key>>],
     stats: &mut ExploreStats,
 ) -> Result<()>
 where

@@ -1,0 +1,207 @@
+//! Adversarial synthetic UDAs: aggregations engineered to stress the
+//! engine's failure paths rather than model real queries.
+//!
+//! The Table 1 queries are well-behaved by construction. These three are
+//! not: one overflows, one forks unmergeably on every record (forcing the
+//! §5.2 restart fallback), and one funnels symbolic scalars through
+//! `SymVector` on data-dependent branches. Soundness must hold anyway —
+//! same output, or the same error, as the sequential run.
+
+use symple_core::ctx::SymCtx;
+use symple_core::impl_sym_state;
+use symple_core::rng::Rng64;
+use symple_core::types::{sym_int::SymInt, sym_pred::SymPred, sym_vector::SymVector};
+use symple_core::uda::Uda;
+
+/// Sums events into an `i64` with no guard: large inputs overflow, and
+/// the overflow must surface as [`symple_core::Error::ArithmeticOverflow`]
+/// from every executor — never as a silently wrapped `Ok`.
+///
+/// Events are kept non-negative (see [`overflow_ints`]) so partial sums
+/// are monotone: whether overflow occurs is then a property of the input
+/// alone, not of where chunk boundaries fall.
+pub struct OverflowSumUda;
+
+/// State of [`OverflowSumUda`].
+#[derive(Clone, Debug)]
+pub struct OverflowState {
+    /// The running (overflow-prone) sum.
+    pub sum: SymInt,
+}
+impl_sym_state!(OverflowState { sum });
+
+impl Uda for OverflowSumUda {
+    type State = OverflowState;
+    type Event = i64;
+    type Output = i64;
+    fn init(&self) -> OverflowState {
+        OverflowState {
+            sum: SymInt::new(0),
+        }
+    }
+    fn update(&self, s: &mut OverflowState, ctx: &mut SymCtx, e: &i64) {
+        s.sum.add(ctx, *e);
+    }
+    fn result(&self, s: &OverflowState, _ctx: &mut SymCtx) -> i64 {
+        s.sum.concrete_value().unwrap_or(i64::MIN)
+    }
+}
+
+/// Non-negative events for [`OverflowSumUda`]: mostly small, with ~4%
+/// huge values so that longer streams genuinely overflow `i64`.
+pub fn overflow_ints(seed: u64, len: usize) -> Vec<i64> {
+    let mut rng = Rng64::seed_from_u64(seed);
+    (0..len)
+        .map(|_| {
+            if rng.gen_bool(0.04) {
+                i64::MAX / 8
+            } else {
+                rng.gen_range(0i64..1_000)
+            }
+        })
+        .collect()
+}
+
+/// Forks on a never-rebound black-box predicate with fresh arguments on
+/// every record, so no two paths ever merge: live paths double per record
+/// and the engine *must* take the restart fallback (§5.2) to finish.
+/// Exercises multi-summary [`symple_core::SummaryChain`]s everywhere.
+pub struct RestartProneUda;
+
+/// State of [`RestartProneUda`].
+#[derive(Clone, Debug)]
+pub struct RestartState {
+    /// Never-assigned predicate: every eval is a fresh fork.
+    pub p: SymPred<i64>,
+    /// Accumulator with per-path distinct transfers.
+    pub acc: SymInt,
+}
+impl_sym_state!(RestartState { p, acc });
+
+impl Uda for RestartProneUda {
+    type State = RestartState;
+    type Event = i64;
+    type Output = i64;
+    fn init(&self) -> RestartState {
+        RestartState {
+            p: SymPred::new(|a: &i64, b: &i64| a < b).with_max_decisions(64),
+            acc: SymInt::new(0),
+        }
+    }
+    fn update(&self, s: &mut RestartState, ctx: &mut SymCtx, e: &i64) {
+        // Never calls `set`: decisions accumulate, and the distinct added
+        // constants keep the two sides of every fork unmergeable.
+        if s.p.eval(ctx, e) {
+            s.acc.add(ctx, *e);
+        }
+    }
+    fn result(&self, s: &RestartState, _ctx: &mut SymCtx) -> i64 {
+        s.acc.concrete_value().unwrap_or(i64::MIN)
+    }
+}
+
+/// Small signed events for [`RestartProneUda`]; distinct values keep the
+/// fork transfers distinct.
+pub fn restart_ints(seed: u64, len: usize) -> Vec<i64> {
+    let mut rng = Rng64::seed_from_u64(seed);
+    (0..len).map(|_| rng.gen_range(-50i64..50)).collect()
+}
+
+/// Pushes *symbolic* integers into a `SymVector` on data-dependent
+/// branches: the vector's pending symbolic elements must survive
+/// encoding, composition, and late binding intact.
+pub struct VectorHeavyUda;
+
+/// State of [`VectorHeavyUda`].
+#[derive(Clone, Debug)]
+pub struct VectorState {
+    /// Running counter (symbolic across chunk boundaries).
+    pub n: SymInt,
+    /// Reported values, possibly still symbolic when pushed.
+    pub out: SymVector<i64>,
+}
+impl_sym_state!(VectorState { n, out });
+
+impl Uda for VectorHeavyUda {
+    type State = VectorState;
+    type Event = i64;
+    type Output = Vec<i64>;
+    fn init(&self) -> VectorState {
+        VectorState {
+            n: SymInt::new(0),
+            out: SymVector::new(),
+        }
+    }
+    fn update(&self, s: &mut VectorState, ctx: &mut SymCtx, e: &i64) {
+        s.n.add(ctx, *e);
+        if s.n.gt(ctx, 10) {
+            s.out.push_int(&s.n);
+            s.n.assign(0);
+        }
+    }
+    fn result(&self, s: &VectorState, _ctx: &mut SymCtx) -> Vec<i64> {
+        s.out.concrete_elems().unwrap_or_default()
+    }
+}
+
+/// Small non-negative increments for [`VectorHeavyUda`]: several events
+/// per report, so chunk boundaries regularly split a pending report.
+pub fn vector_ints(seed: u64, len: usize) -> Vec<i64> {
+    let mut rng = Rng64::seed_from_u64(seed);
+    (0..len).map(|_| rng.gen_range(0i64..7)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use symple_core::engine::{EngineConfig, MergePolicy, SymbolicExecutor};
+    use symple_core::uda::{run_chunked_symbolic, run_sequential};
+    use symple_core::Error;
+
+    #[test]
+    fn overflow_is_input_determined() {
+        // A stream with two giants overflows sequentially and chunked.
+        let mut events = overflow_ints(11, 40);
+        events.extend([i64::MAX / 2, i64::MAX / 2]);
+        let seq = run_sequential(&OverflowSumUda, events.iter());
+        assert!(
+            matches!(seq, Err(Error::ArithmeticOverflow { .. })),
+            "{seq:?}"
+        );
+        for chunks in [2, 3, 5] {
+            let par =
+                run_chunked_symbolic(&OverflowSumUda, &events, chunks, &EngineConfig::default());
+            assert!(
+                matches!(par, Err(Error::ArithmeticOverflow { .. })),
+                "chunks={chunks}: {par:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn restart_prone_actually_restarts() {
+        let events = restart_ints(5, 48);
+        let cfg = EngineConfig {
+            max_paths_per_record: 64,
+            max_total_paths: 4,
+            merge_policy: MergePolicy::Never,
+        };
+        let mut exec = SymbolicExecutor::new(&RestartProneUda, cfg);
+        exec.feed_all(events.iter()).unwrap();
+        let (chain, stats) = exec.finish();
+        assert!(stats.restarts > 0, "expected restarts, got {stats:?}");
+        assert!(chain.len() > 1, "expected a multi-summary chain");
+    }
+
+    #[test]
+    fn vector_heavy_matches_sequential() {
+        let events = vector_ints(9, 120);
+        let seq = run_sequential(&VectorHeavyUda, events.iter()).unwrap();
+        for chunks in [1, 3, 7] {
+            let par =
+                run_chunked_symbolic(&VectorHeavyUda, &events, chunks, &EngineConfig::default())
+                    .unwrap();
+            assert_eq!(par, seq, "chunks={chunks}");
+        }
+    }
+}

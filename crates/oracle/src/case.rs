@@ -1,0 +1,490 @@
+//! Oracle cases: a UDA plus a seeded event generator, runnable through
+//! every cell of the matrix behind an object-safe interface.
+//!
+//! A case never stores its input. The input is `(seed, len)` plus an
+//! optional list of kept indices — events are regenerated on every run, so
+//! a repro artifact that records those three values is fully
+//! self-contained and immune to serialization drift of the event types.
+
+use std::fmt::Debug;
+use std::marker::PhantomData;
+
+use symple_core::compose::apply_chain;
+use symple_core::error::{Error, Result};
+use symple_core::uda::{extract_result, run_concrete_state, run_sequential, summarize_chunk, Uda};
+use symple_core::wire::Wire;
+use symple_mapreduce::segment::split_into_segments;
+use symple_mapreduce::{
+    probe_fault_determinism, run_symple, run_symple_streaming, run_symple_with_faults,
+    FaultInjector, GroupBy,
+};
+
+use crate::cell::{Cell, ExecutorKind, FaultKind};
+
+/// Rendered output of a MapReduce run whose input had no events (and so
+/// produced no groups). The driver accepts this for empty inputs only.
+pub const NO_GROUPS: &str = "<no groups>";
+
+/// A deliberate soundness break, used to prove end-to-end that the oracle
+/// detects, shrinks, and replays real disagreements. Applied inside the
+/// oracle's chunked executor only — the library under test is untouched.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Sabotage {
+    /// No sabotage: test the tree as-is.
+    None,
+    /// Drop the last event of the last symbolic chunk (simulates a mapper
+    /// losing its tail).
+    DropLastEvent,
+    /// Apply chunk summaries in reverse order (violates §3.6's ordered
+    /// composition).
+    ReorderChunks,
+}
+
+impl Sabotage {
+    /// Stable artifact token.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Sabotage::None => "none",
+            Sabotage::DropLastEvent => "drop-last-event",
+            Sabotage::ReorderChunks => "reorder-chunks",
+        }
+    }
+
+    /// Parses an artifact token.
+    pub fn parse(s: &str) -> Option<Sabotage> {
+        Some(match s {
+            "none" => Sabotage::None,
+            "drop-last-event" => Sabotage::DropLastEvent,
+            "reorder-chunks" => Sabotage::ReorderChunks,
+            _ => return None,
+        })
+    }
+}
+
+/// A reproducible input: everything needed to regenerate the exact event
+/// stream of a run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CaseInput {
+    /// Seed fed to the case's event generator.
+    pub seed: u64,
+    /// Number of events the generator produces.
+    pub len: usize,
+    /// Indices (into the generated stream, ascending) that survive
+    /// shrinking; `None` keeps everything.
+    pub kept: Option<Vec<usize>>,
+}
+
+impl CaseInput {
+    /// An unshrunk input.
+    pub fn full(seed: u64, len: usize) -> CaseInput {
+        CaseInput {
+            seed,
+            len,
+            kept: None,
+        }
+    }
+
+    /// Number of events actually fed to executors.
+    pub fn effective_len(&self) -> usize {
+        self.kept.as_ref().map_or(self.len, Vec::len)
+    }
+
+    /// The kept-indices filter in the artifact serialization: `all` for
+    /// no filter, `(empty)` for everything dropped, else a comma list.
+    pub fn kept_str(&self) -> String {
+        match &self.kept {
+            None => "all".to_string(),
+            Some(k) => {
+                if k.is_empty() {
+                    "(empty)".to_string()
+                } else {
+                    k.iter().map(usize::to_string).collect::<Vec<_>>().join(",")
+                }
+            }
+        }
+    }
+
+    /// Applies the kept-indices filter to a freshly generated stream.
+    pub fn filter<E>(&self, full: Vec<E>) -> Vec<E> {
+        match &self.kept {
+            None => full,
+            Some(kept) => {
+                let mut full: Vec<Option<E>> = full.into_iter().map(Some).collect();
+                kept.iter()
+                    .filter_map(|&i| full.get_mut(i).and_then(Option::take))
+                    .collect()
+            }
+        }
+    }
+}
+
+/// Decides whether a parallel rendering agrees with the sequential
+/// reference.
+///
+/// Two carve-outs beyond literal equality:
+///
+/// * MapReduce executors render empty inputs as [`NO_GROUPS`] (there is
+///   no group to report); accepted only when the input really is empty.
+/// * When the reference overflows, parallel executors may instead report
+///   `IncompleteSummary` (in-order apply: the running value falls outside
+///   every path constraint, because constraints exclude inputs that would
+///   overflow) or `EmptyComposition` (tree compose: no cross-chunk path
+///   pair stays feasible). All three mean "this input overflows"; an
+///   `Ok` against an overflowing reference is still always a finding.
+/// * Resource-limit errors (`PathExplosion`,
+///   `PredicateWindowExceeded`) are *refusals*, not answers: symbolic
+///   execution is allowed to give up under a tight budget — the
+///   sequential reference has no such budget — but it may never return a
+///   wrong `Ok`. Refusals are therefore always accepted.
+pub fn outputs_agree(expected: &str, actual: &str, input: &CaseInput) -> bool {
+    if actual == expected {
+        return true;
+    }
+    if input.effective_len() == 0 && actual == NO_GROUPS {
+        return true;
+    }
+    if matches!(
+        actual,
+        "Err(PathExplosion)" | "Err(PredicateWindowExceeded)"
+    ) {
+        return true;
+    }
+    expected == "Err(ArithmeticOverflow)"
+        && matches!(actual, "Err(IncompleteSummary)" | "Err(EmptyComposition)")
+}
+
+/// The object-safe interface the driver, shrinker, and replayer share.
+pub trait DynCase: Send + Sync {
+    /// Stable case id (`"G1"`, `"OVF"`, …).
+    fn id(&self) -> &'static str;
+
+    /// Whether this case can run under `cell` at all. Restart-heavy cases
+    /// opt out of [`ExecutorKind::MapReduceTree`]: symbolic composition of
+    /// unmergeable multi-summary chains is exponential by nature (the
+    /// restart fallback exists precisely because such chains must be
+    /// applied in order), so those cells would hang, not disagree.
+    fn supports(&self, cell: &Cell) -> bool {
+        let _ = cell;
+        true
+    }
+
+    /// Renders the sequential reference result for `input`.
+    fn run_reference(&self, input: &CaseInput) -> String;
+
+    /// Renders the result of running `input` through `cell`.
+    fn run_cell(&self, input: &CaseInput, cell: &Cell, sabotage: Sabotage) -> String;
+
+    /// Checks that two symbolic summarization attempts of the same chunk
+    /// are byte-identical on the wire (re-executed map attempts must be).
+    /// Returns a violation description, or `None` when deterministic.
+    fn summary_nondet(&self, input: &CaseInput, cell: &Cell) -> Option<String>;
+
+    /// Runs the clean-vs-faulty MapReduce probe for cells with an active
+    /// fault plan. Returns a violation description, or `None`.
+    fn fault_nondet(&self, input: &CaseInput, cell: &Cell) -> Option<String>;
+
+    /// Debug rendering of the (filtered) event stream, for artifacts.
+    fn events_debug(&self, input: &CaseInput) -> String;
+}
+
+/// Maps an [`Error`] to its variant name — differential comparison treats
+/// errors as equal iff the variant matches, ignoring payload details like
+/// path counts that legitimately vary across executors.
+pub fn error_variant(e: &Error) -> &'static str {
+    match e {
+        Error::PathExplosion { .. } => "PathExplosion",
+        Error::ArithmeticOverflow { .. } => "ArithmeticOverflow",
+        Error::NonConcreteBranch => "NonConcreteBranch",
+        Error::PredicateWindowExceeded { .. } => "PredicateWindowExceeded",
+        Error::IncompleteSummary => "IncompleteSummary",
+        Error::OverlappingSummary => "OverlappingSummary",
+        Error::EnumOutOfDomain { .. } => "EnumOutOfDomain",
+        Error::EmptyComposition => "EmptyComposition",
+        Error::Wire(_) => "Wire",
+        Error::Uda(_) => "Uda",
+    }
+}
+
+fn render<O: Debug>(r: Result<O>) -> String {
+    match r {
+        Ok(o) => format!("Ok({o:?})"),
+        Err(e) => format!("Err({})", error_variant(&e)),
+    }
+}
+
+/// Groups every record under key 0 — the oracle checks one event stream
+/// at a time, so the MapReduce executors run with a single group.
+struct SingleKey<E>(PhantomData<fn() -> E>);
+
+impl<E> SingleKey<E> {
+    fn new() -> SingleKey<E> {
+        SingleKey(PhantomData)
+    }
+}
+
+impl<E: Clone + Debug + Send + Sync + Wire + 'static> GroupBy for SingleKey<E> {
+    type Record = E;
+    type Key = u8;
+    type Event = E;
+    fn extract(&self, r: &E) -> Option<(u8, E)> {
+        Some((0, r.clone()))
+    }
+}
+
+/// A concrete case: a UDA and its seeded event generator.
+pub struct UdaCase<U, F> {
+    id: &'static str,
+    uda: U,
+    generate: F,
+    tree_compose_ok: bool,
+}
+
+impl<U, F> UdaCase<U, F>
+where
+    U: Uda,
+    F: Fn(u64, usize) -> Vec<U::Event>,
+{
+    /// Builds a case from a UDA and a generator.
+    pub fn new(id: &'static str, uda: U, generate: F) -> UdaCase<U, F> {
+        UdaCase {
+            id,
+            uda,
+            generate,
+            tree_compose_ok: true,
+        }
+    }
+
+    /// Opts the case out of tree-composition cells (see
+    /// [`DynCase::supports`]).
+    pub fn without_tree_compose(mut self) -> UdaCase<U, F> {
+        self.tree_compose_ok = false;
+        self
+    }
+
+    fn events(&self, input: &CaseInput) -> Vec<U::Event> {
+        input.filter((self.generate)(input.seed, input.len))
+    }
+}
+
+impl<U, F> UdaCase<U, F>
+where
+    U: Uda,
+    U::Event: Clone + Debug + Send + Sync + Wire + 'static,
+    U::Output: Debug + PartialEq + Send,
+    F: Fn(u64, usize) -> Vec<U::Event> + Send + Sync,
+{
+    /// The oracle's own chunked executor. Mirrors
+    /// [`symple_core::uda::run_chunked_symbolic`], with two extensions the
+    /// matrix needs: an all-symbolic mode (`first_segment_concrete =
+    /// false`) and the sabotage hooks.
+    fn run_chunked(
+        &self,
+        events: &[U::Event],
+        cell: &Cell,
+        sabotage: Sabotage,
+    ) -> Result<U::Output> {
+        let num_chunks = cell.chunks.max(1);
+        let chunk_len = events.len().div_ceil(num_chunks).max(1);
+        let engine = cell.engine();
+        let mut chunks = events.chunks(chunk_len);
+
+        let mut state = if cell.first_segment_concrete {
+            run_concrete_state(&self.uda, chunks.next().unwrap_or(&[]))?
+        } else {
+            self.uda.init()
+        };
+
+        let symbolic: Vec<&[U::Event]> = chunks.collect();
+        let mut chains = Vec::with_capacity(symbolic.len());
+        for (i, chunk) in symbolic.iter().enumerate() {
+            let chunk: &[U::Event] =
+                if sabotage == Sabotage::DropLastEvent && i + 1 == symbolic.len() {
+                    &chunk[..chunk.len().saturating_sub(1)]
+                } else {
+                    chunk
+                };
+            chains.push(summarize_chunk(&self.uda, chunk, &engine)?);
+        }
+        if sabotage == Sabotage::ReorderChunks {
+            chains.reverse();
+        }
+        for chain in &chains {
+            state = apply_chain(chain, &state)?;
+        }
+        extract_result(&self.uda, &state)
+    }
+
+    fn run_mapreduce(&self, events: Vec<U::Event>, cell: &Cell) -> String {
+        if events.is_empty() {
+            return NO_GROUPS.to_string();
+        }
+        let segments = split_into_segments(&events, cell.chunks.max(1), 8);
+        let group = SingleKey::<U::Event>::new();
+        let job = cell.job();
+        let out = match cell.executor {
+            ExecutorKind::Streaming => run_symple_streaming(&group, &self.uda, &segments, &job),
+            _ => match cell.faults {
+                FaultKind::None => run_symple(&group, &self.uda, &segments, &job),
+                plan => {
+                    let injector = FaultInjector::new(plan.plan(segments.len()));
+                    run_symple_with_faults(&group, &self.uda, &segments, &job, &injector)
+                }
+            },
+        };
+        match out {
+            Ok(job) => match job.results.as_slice() {
+                [] => NO_GROUPS.to_string(),
+                [(0, output)] => format!("Ok({output:?})"),
+                other => format!(
+                    "BadKeys({:?})",
+                    other.iter().map(|(k, _)| *k).collect::<Vec<u8>>()
+                ),
+            },
+            Err(e) => format!("Err({})", error_variant(&e)),
+        }
+    }
+}
+
+impl<U, F> DynCase for UdaCase<U, F>
+where
+    U: Uda,
+    U::Event: Clone + Debug + Send + Sync + Wire + 'static,
+    U::Output: Debug + PartialEq + Send,
+    F: Fn(u64, usize) -> Vec<U::Event> + Send + Sync,
+{
+    fn id(&self) -> &'static str {
+        self.id
+    }
+
+    fn supports(&self, cell: &Cell) -> bool {
+        self.tree_compose_ok || cell.executor != ExecutorKind::MapReduceTree
+    }
+
+    fn run_reference(&self, input: &CaseInput) -> String {
+        render(run_sequential(&self.uda, self.events(input).iter()))
+    }
+
+    fn run_cell(&self, input: &CaseInput, cell: &Cell, sabotage: Sabotage) -> String {
+        let events = self.events(input);
+        if cell.executor.is_mapreduce() {
+            self.run_mapreduce(events, cell)
+        } else {
+            render(self.run_chunked(&events, cell, sabotage))
+        }
+    }
+
+    fn summary_nondet(&self, input: &CaseInput, cell: &Cell) -> Option<String> {
+        let events = self.events(input);
+        let engine = cell.engine();
+        let a = summarize_chunk(&self.uda, events.iter(), &engine);
+        let b = summarize_chunk(&self.uda, events.iter(), &engine);
+        match (a, b) {
+            (Ok(a), Ok(b)) => {
+                if a.byte_eq(&b) {
+                    None
+                } else {
+                    Some(format!(
+                        "summary wire bytes differ between attempts ({} vs {} bytes)",
+                        a.to_bytes().len(),
+                        b.to_bytes().len()
+                    ))
+                }
+            }
+            (Err(a), Err(b)) => {
+                if error_variant(&a) == error_variant(&b) {
+                    None
+                } else {
+                    Some(format!(
+                        "attempts errored differently: {} vs {}",
+                        error_variant(&a),
+                        error_variant(&b)
+                    ))
+                }
+            }
+            (Ok(_), Err(e)) | (Err(e), Ok(_)) => Some(format!(
+                "one attempt succeeded, the other failed with {}",
+                error_variant(&e)
+            )),
+        }
+    }
+
+    fn fault_nondet(&self, input: &CaseInput, cell: &Cell) -> Option<String> {
+        let events = self.events(input);
+        if events.is_empty() || cell.faults == FaultKind::None {
+            return None;
+        }
+        let segments = split_into_segments(&events, cell.chunks.max(1), 8);
+        let plan = cell.faults.plan(segments.len());
+        let expected_retries = cell.faults.expected_retries(segments.len());
+        let probe = match probe_fault_determinism(
+            &SingleKey::<U::Event>::new(),
+            &self.uda,
+            &segments,
+            &cell.job(),
+            plan,
+        ) {
+            Ok(p) => p,
+            // Job-level errors are the mismatch checks' concern, and they
+            // hit clean and faulty runs alike — nothing to compare here.
+            Err(_) => return None,
+        };
+        if !probe.is_deterministic() {
+            return Some(format!(
+                "fault re-execution diverged: results_match={} shuffle_deterministic={} retries={}",
+                probe.results_match(),
+                probe.shuffle_deterministic(),
+                probe.retries
+            ));
+        }
+        if probe.retries != expected_retries {
+            return Some(format!(
+                "fault plan fired {} retries, expected {expected_retries}",
+                probe.retries
+            ));
+        }
+        None
+    }
+
+    fn events_debug(&self, input: &CaseInput) -> String {
+        format!("{:?}", self.events(input))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn filter_keeps_selected_indices() {
+        let input = CaseInput {
+            seed: 0,
+            len: 5,
+            kept: Some(vec![0, 2, 4]),
+        };
+        assert_eq!(input.filter(vec![10, 11, 12, 13, 14]), vec![10, 12, 14]);
+        assert_eq!(input.effective_len(), 3);
+        assert_eq!(CaseInput::full(0, 5).filter(vec![1, 2, 3]), vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn filter_ignores_out_of_range_indices() {
+        let input = CaseInput {
+            seed: 0,
+            len: 3,
+            kept: Some(vec![1, 9]),
+        };
+        assert_eq!(input.filter(vec![7, 8, 9]), vec![8]);
+    }
+
+    #[test]
+    fn sabotage_tokens_round_trip() {
+        for s in [
+            Sabotage::None,
+            Sabotage::DropLastEvent,
+            Sabotage::ReorderChunks,
+        ] {
+            assert_eq!(Sabotage::parse(s.as_str()), Some(s));
+        }
+        assert_eq!(Sabotage::parse("?"), None);
+    }
+}

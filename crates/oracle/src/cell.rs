@@ -1,0 +1,381 @@
+//! The execution matrix: one [`Cell`] is a fully-specified way of running
+//! a UDA in parallel, to be checked against the sequential reference.
+//!
+//! A cell pins the executor, the chunk/segment count, and every
+//! engine/job knob that could plausibly change behavior: merge policy,
+//! the restart bound (`max_total_paths`), whether the first segment runs
+//! concretely, and the fault-injection plan. The soundness theorem (§3.6)
+//! says *none* of these may change the answer — which is exactly what
+//! makes the whole matrix an oracle.
+
+use symple_core::engine::{EngineConfig, MergePolicy};
+use symple_mapreduce::{FaultPlan, JobConfig, ReduceStrategy};
+
+/// Which parallel executor a cell drives.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ExecutorKind {
+    /// In-process chunked execution: first chunk concrete, rest symbolic,
+    /// summaries applied in order (`run_chunked_symbolic` semantics).
+    ChunkedSymbolic,
+    /// The full MapReduce job with in-order chain application.
+    MapReduce,
+    /// The MapReduce job with balanced tree composition in reducers.
+    MapReduceTree,
+    /// The streaming shuffle (mappers and reducers overlapped).
+    Streaming,
+}
+
+impl ExecutorKind {
+    /// Stable artifact token.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            ExecutorKind::ChunkedSymbolic => "chunked-symbolic",
+            ExecutorKind::MapReduce => "mapreduce",
+            ExecutorKind::MapReduceTree => "mapreduce-tree",
+            ExecutorKind::Streaming => "streaming",
+        }
+    }
+
+    /// Parses an artifact token.
+    pub fn parse(s: &str) -> Option<ExecutorKind> {
+        Some(match s {
+            "chunked-symbolic" => ExecutorKind::ChunkedSymbolic,
+            "mapreduce" => ExecutorKind::MapReduce,
+            "mapreduce-tree" => ExecutorKind::MapReduceTree,
+            "streaming" => ExecutorKind::Streaming,
+            _ => return None,
+        })
+    }
+
+    /// Whether the cell runs through the MapReduce stack (and therefore
+    /// emits per-key results rather than a single output).
+    pub fn is_mapreduce(self) -> bool {
+        !matches!(self, ExecutorKind::ChunkedSymbolic)
+    }
+}
+
+/// Which map attempts crash (MapReduce executors only).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultKind {
+    /// No injected failures.
+    None,
+    /// The first attempt of segment 1 (or 0 if there is only one) crashes.
+    FailFirst,
+    /// Segment 1's first two attempts crash, segment 0's first crashes.
+    FailTwice,
+}
+
+impl FaultKind {
+    /// Stable artifact token.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            FaultKind::None => "none",
+            FaultKind::FailFirst => "fail-first",
+            FaultKind::FailTwice => "fail-twice",
+        }
+    }
+
+    /// Parses an artifact token.
+    pub fn parse(s: &str) -> Option<FaultKind> {
+        Some(match s {
+            "none" => FaultKind::None,
+            "fail-first" => FaultKind::FailFirst,
+            "fail-twice" => FaultKind::FailTwice,
+            _ => return None,
+        })
+    }
+
+    /// The concrete [`FaultPlan`] for a job with `num_segments` segments.
+    pub fn plan(self, num_segments: usize) -> FaultPlan {
+        let victim = if num_segments > 1 { 1 } else { 0 };
+        match self {
+            FaultKind::None => FaultPlan::default(),
+            FaultKind::FailFirst => FaultPlan::fail_once([victim]),
+            FaultKind::FailTwice if num_segments > 1 => FaultPlan {
+                fail_first_attempt: [0].into_iter().collect(),
+                fail_twice: [victim].into_iter().collect(),
+            },
+            FaultKind::FailTwice => FaultPlan {
+                fail_first_attempt: Default::default(),
+                fail_twice: [0].into_iter().collect(),
+            },
+        }
+    }
+
+    /// How many retries [`FaultKind::plan`] triggers on a job with
+    /// `num_segments` segments (for determinism assertions).
+    pub fn expected_retries(self, num_segments: usize) -> u64 {
+        match self {
+            FaultKind::None => 0,
+            FaultKind::FailFirst => 1,
+            // Segment 0 fails once; the victim fails twice — unless both
+            // are segment 0, in which case fail_twice wins (2 retries).
+            FaultKind::FailTwice => {
+                if num_segments > 1 {
+                    3
+                } else {
+                    2
+                }
+            }
+        }
+    }
+}
+
+/// Formats a [`MergePolicy`] as a stable artifact token.
+pub fn policy_str(p: MergePolicy) -> &'static str {
+    match p {
+        MergePolicy::Eager => "eager",
+        MergePolicy::HighWater => "high-water",
+        MergePolicy::Never => "never",
+    }
+}
+
+/// Parses a [`MergePolicy`] artifact token.
+pub fn parse_policy(s: &str) -> Option<MergePolicy> {
+    Some(match s {
+        "eager" => MergePolicy::Eager,
+        "high-water" => MergePolicy::HighWater,
+        "never" => MergePolicy::Never,
+        _ => return None,
+    })
+}
+
+/// One cell of the execution matrix.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Cell {
+    /// The executor under test.
+    pub executor: ExecutorKind,
+    /// Chunks (chunked executor) or segments (MapReduce executors).
+    pub chunks: usize,
+    /// Path-merging policy.
+    pub merge_policy: MergePolicy,
+    /// Restart bound: live paths before the engine falls back to a new
+    /// summary segment (§5.2).
+    pub max_total_paths: usize,
+    /// Whether the globally first chunk/segment runs concretely.
+    pub first_segment_concrete: bool,
+    /// Injected map-task crashes (MapReduce executors only).
+    pub faults: FaultKind,
+}
+
+impl Cell {
+    /// The baseline cell: plain chunked execution with default knobs.
+    pub fn default_chunked(chunks: usize) -> Cell {
+        Cell {
+            executor: ExecutorKind::ChunkedSymbolic,
+            chunks,
+            merge_policy: MergePolicy::HighWater,
+            max_total_paths: 8,
+            first_segment_concrete: true,
+            faults: FaultKind::None,
+        }
+    }
+
+    /// The engine configuration this cell runs with.
+    ///
+    /// `max_paths_per_record` caps the whole per-record exploration
+    /// output (live paths × choice vectors), so it must sit well above
+    /// `max_total_paths` or the restart fallback is unreachable: paths
+    /// legitimately grow to the restart threshold, and the very next
+    /// forking record would trip the per-record bound first.
+    pub fn engine(&self) -> EngineConfig {
+        EngineConfig {
+            max_paths_per_record: 1024,
+            max_total_paths: self.max_total_paths,
+            merge_policy: self.merge_policy,
+        }
+    }
+
+    /// The job configuration for MapReduce executors. Thread counts are
+    /// fixed and small: determinism must not depend on them, and the
+    /// matrix already varies everything that may matter.
+    pub fn job(&self) -> JobConfig {
+        JobConfig {
+            num_reducers: 2,
+            map_workers: 2,
+            reduce_workers: 2,
+            engine: self.engine(),
+            reduce_strategy: if self.executor == ExecutorKind::MapReduceTree {
+                ReduceStrategy::TreeCompose
+            } else {
+                ReduceStrategy::ApplyInOrder
+            },
+            first_segment_concrete: self.first_segment_concrete,
+        }
+    }
+
+    /// One-line description for findings and logs.
+    pub fn describe(&self) -> String {
+        format!(
+            "{} chunks={} policy={} max-paths={} first-concrete={} faults={}",
+            self.executor.as_str(),
+            self.chunks,
+            policy_str(self.merge_policy),
+            self.max_total_paths,
+            self.first_segment_concrete,
+            self.faults.as_str()
+        )
+    }
+}
+
+/// The quick matrix: one representative cell per executor plus the knobs
+/// most likely to disagree (restart-heavy `Never`, faults, tree
+/// composition). Sized for a sub-2-minute CI smoke job.
+pub fn smoke_matrix() -> Vec<Cell> {
+    let base = Cell::default_chunked(1);
+    vec![
+        Cell { chunks: 1, ..base },
+        Cell { chunks: 3, ..base },
+        // Restart fallback: tiny path budget, no merging.
+        Cell {
+            chunks: 4,
+            merge_policy: MergePolicy::Never,
+            max_total_paths: 2,
+            ..base
+        },
+        // All-symbolic (no concrete first chunk).
+        Cell {
+            chunks: 3,
+            first_segment_concrete: false,
+            ..base
+        },
+        Cell {
+            executor: ExecutorKind::MapReduce,
+            chunks: 3,
+            ..base
+        },
+        Cell {
+            executor: ExecutorKind::MapReduce,
+            chunks: 4,
+            merge_policy: MergePolicy::Eager,
+            faults: FaultKind::FailFirst,
+            ..base
+        },
+        Cell {
+            executor: ExecutorKind::MapReduceTree,
+            chunks: 3,
+            ..base
+        },
+        Cell {
+            executor: ExecutorKind::Streaming,
+            chunks: 3,
+            ..base
+        },
+    ]
+}
+
+/// The deep matrix: the near-full cross product the `--deep` mode sweeps.
+pub fn deep_matrix() -> Vec<Cell> {
+    let mut cells = Vec::new();
+    let policies = [
+        MergePolicy::Eager,
+        MergePolicy::HighWater,
+        MergePolicy::Never,
+    ];
+
+    for &chunks in &[1usize, 2, 3, 5, 8] {
+        for &merge_policy in &policies {
+            for &max_total_paths in &[2usize, 8, 64] {
+                for &first_segment_concrete in &[true, false] {
+                    cells.push(Cell {
+                        executor: ExecutorKind::ChunkedSymbolic,
+                        chunks,
+                        merge_policy,
+                        max_total_paths,
+                        first_segment_concrete,
+                        faults: FaultKind::None,
+                    });
+                }
+            }
+        }
+    }
+    for executor in [ExecutorKind::MapReduce, ExecutorKind::MapReduceTree] {
+        for &chunks in &[1usize, 3, 6] {
+            for &merge_policy in &[MergePolicy::HighWater, MergePolicy::Never] {
+                for faults in [FaultKind::None, FaultKind::FailFirst, FaultKind::FailTwice] {
+                    for &first_segment_concrete in &[true, false] {
+                        cells.push(Cell {
+                            executor,
+                            chunks,
+                            merge_policy,
+                            max_total_paths: 8,
+                            first_segment_concrete,
+                            faults,
+                        });
+                    }
+                }
+            }
+        }
+    }
+    for &chunks in &[1usize, 3, 6] {
+        for &merge_policy in &[MergePolicy::HighWater, MergePolicy::Never] {
+            cells.push(Cell {
+                executor: ExecutorKind::Streaming,
+                chunks,
+                merge_policy,
+                max_total_paths: 8,
+                first_segment_concrete: true,
+                faults: FaultKind::None,
+            });
+        }
+    }
+    cells
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn token_round_trips() {
+        for e in [
+            ExecutorKind::ChunkedSymbolic,
+            ExecutorKind::MapReduce,
+            ExecutorKind::MapReduceTree,
+            ExecutorKind::Streaming,
+        ] {
+            assert_eq!(ExecutorKind::parse(e.as_str()), Some(e));
+        }
+        for f in [FaultKind::None, FaultKind::FailFirst, FaultKind::FailTwice] {
+            assert_eq!(FaultKind::parse(f.as_str()), Some(f));
+        }
+        for p in [
+            MergePolicy::Eager,
+            MergePolicy::HighWater,
+            MergePolicy::Never,
+        ] {
+            assert_eq!(parse_policy(policy_str(p)), Some(p));
+        }
+        assert_eq!(ExecutorKind::parse("bogus"), None);
+    }
+
+    #[test]
+    fn matrices_are_nonempty_and_distinct() {
+        let smoke = smoke_matrix();
+        let deep = deep_matrix();
+        assert!(smoke.len() >= 6);
+        assert!(deep.len() > smoke.len());
+        // Every executor appears in both.
+        for m in [&smoke, &deep] {
+            for e in [
+                ExecutorKind::ChunkedSymbolic,
+                ExecutorKind::MapReduce,
+                ExecutorKind::MapReduceTree,
+                ExecutorKind::Streaming,
+            ] {
+                assert!(m.iter().any(|c| c.executor == e), "{e:?} missing");
+            }
+        }
+    }
+
+    #[test]
+    fn fault_plans_match_expected_retries() {
+        for n in [1usize, 2, 5] {
+            for f in [FaultKind::None, FaultKind::FailFirst, FaultKind::FailTwice] {
+                let plan = f.plan(n);
+                let total = plan.fail_first_attempt.len() as u64 + 2 * plan.fail_twice.len() as u64;
+                assert_eq!(total, f.expected_retries(n), "{f:?} n={n}");
+            }
+        }
+    }
+}

@@ -1,0 +1,395 @@
+//! The sweep driver: runs every case through the matrix, compares against
+//! the sequential reference, shrinks disagreements, and emits artifacts.
+
+use std::path::PathBuf;
+
+use symple_core::rng::Rng64;
+
+use crate::artifact::{Artifact, ReproKind};
+use crate::case::{outputs_agree, CaseInput, DynCase, Sabotage};
+use crate::cases::all_cases;
+use crate::cell::{deep_matrix, smoke_matrix, Cell, ExecutorKind, FaultKind};
+use crate::shrink::shrink_case;
+
+/// How exhaustively to sweep.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Depth {
+    /// The CI gate: small matrix, short inputs, sub-2-minutes.
+    Smoke,
+    /// The full matrix with longer and more varied inputs.
+    Deep,
+}
+
+/// Driver configuration.
+#[derive(Debug, Clone)]
+pub struct OracleOptions {
+    /// Master seed; every generated input derives from it deterministically.
+    pub seed: u64,
+    /// Sweep depth.
+    pub depth: Depth,
+    /// Restrict to one case id (`--case`).
+    pub case_filter: Option<String>,
+    /// Deliberate soundness break for end-to-end self-tests (`--sabotage`).
+    pub sabotage: Sabotage,
+    /// Where repro artifacts are written (when `write_artifacts`).
+    pub artifact_dir: PathBuf,
+    /// Whether findings are persisted to disk.
+    pub write_artifacts: bool,
+    /// Stop sweeping a case after this many findings (shrinking is the
+    /// expensive part; duplicates of one bug add nothing).
+    pub max_findings_per_case: usize,
+}
+
+impl OracleOptions {
+    /// Defaults for a given depth: seed 0, no filter, no sabotage,
+    /// artifacts under `target/oracle`.
+    pub fn new(depth: Depth) -> OracleOptions {
+        OracleOptions {
+            seed: 0,
+            depth,
+            case_filter: None,
+            sabotage: Sabotage::None,
+            artifact_dir: PathBuf::from("target/oracle"),
+            write_artifacts: true,
+            max_findings_per_case: 2,
+        }
+    }
+}
+
+/// One confirmed disagreement, already shrunk.
+#[derive(Debug, Clone)]
+pub struct Finding {
+    /// The minimized artifact.
+    pub artifact: Artifact,
+    /// Where it was written, when artifacts are enabled.
+    pub path: Option<PathBuf>,
+    /// Pre-shrink evidence, for the report.
+    pub original_input: CaseInput,
+    pub original_cell: Cell,
+}
+
+/// Summary of a sweep.
+#[derive(Debug, Clone, Default)]
+pub struct OracleReport {
+    /// Differential comparisons executed (reference vs cell).
+    pub comparisons: u64,
+    /// Determinism probes executed (summary bytes + fault recovery).
+    pub probes: u64,
+    /// Confirmed, shrunk disagreements.
+    pub findings: Vec<Finding>,
+}
+
+impl OracleReport {
+    /// True when the tree passed the sweep.
+    pub fn clean(&self) -> bool {
+        self.findings.is_empty()
+    }
+}
+
+fn input_lens(depth: Depth) -> &'static [usize] {
+    match depth {
+        Depth::Smoke => &[0, 24, 72],
+        Depth::Deep => &[0, 1, 9, 48, 160, 384],
+    }
+}
+
+/// FNV-1a, used to give every case an independent input-seed stream.
+fn fnv1a(s: &str) -> u64 {
+    let mut h: u64 = 0xcbf29ce484222325;
+    for b in s.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x100000001b3);
+    }
+    h
+}
+
+fn probe_cells(matrix: &[Cell]) -> (Vec<Cell>, Vec<Cell>) {
+    // Summary determinism: re-summarizing must be byte-identical under any
+    // engine config, so probe one default and one restart-heavy config.
+    let summary = vec![
+        Cell::default_chunked(1),
+        Cell {
+            merge_policy: symple_core::engine::MergePolicy::Never,
+            max_total_paths: 2,
+            ..Cell::default_chunked(1)
+        },
+    ];
+    // Fault determinism: one faulted MapReduce cell per distinct fault
+    // kind present in the matrix.
+    let mut fault = Vec::new();
+    for kind in [FaultKind::FailFirst, FaultKind::FailTwice] {
+        if let Some(c) = matrix
+            .iter()
+            .find(|c| c.faults == kind && c.executor.is_mapreduce())
+        {
+            fault.push(*c);
+        }
+    }
+    if fault.is_empty() {
+        fault.push(Cell {
+            executor: ExecutorKind::MapReduce,
+            faults: FaultKind::FailFirst,
+            chunks: 3,
+            ..Cell::default_chunked(3)
+        });
+    }
+    (summary, fault)
+}
+
+/// Runs the sweep. Deterministic: same options → same report.
+pub fn run_oracle(opts: &OracleOptions) -> OracleReport {
+    let mut report = OracleReport::default();
+    let matrix = match opts.depth {
+        Depth::Smoke => smoke_matrix(),
+        Depth::Deep => deep_matrix(),
+    };
+    let (summary_cells, fault_cells) = probe_cells(&matrix);
+
+    for case in all_cases() {
+        if let Some(filter) = &opts.case_filter {
+            if case.id() != filter {
+                continue;
+            }
+        }
+        let mut rng = Rng64::seed_from_u64(opts.seed ^ fnv1a(case.id()));
+        let mut case_findings = 0usize;
+
+        for &len in input_lens(opts.depth) {
+            if case_findings >= opts.max_findings_per_case {
+                break;
+            }
+            let input = CaseInput::full(rng.gen::<u64>(), len);
+            let expected = case.run_reference(&input);
+
+            for cell in &matrix {
+                if case_findings >= opts.max_findings_per_case {
+                    break;
+                }
+                if !case.supports(cell) {
+                    continue;
+                }
+                report.comparisons += 1;
+                let actual = case.run_cell(&input, cell, opts.sabotage);
+                if outputs_agree(&expected, &actual, &input) {
+                    continue;
+                }
+                let finding = build_finding(
+                    case.as_ref(),
+                    ReproKind::Mismatch,
+                    &input,
+                    cell,
+                    opts,
+                    expected.clone(),
+                    actual,
+                );
+                report.findings.push(finding);
+                case_findings += 1;
+            }
+
+            // Determinism probes (independent of sabotage, which only
+            // affects the oracle's own chunked executor).
+            for cell in &summary_cells {
+                report.probes += 1;
+                if let Some(violation) = case.summary_nondet(&input, cell) {
+                    report.findings.push(build_finding(
+                        case.as_ref(),
+                        ReproKind::SummaryNondet,
+                        &input,
+                        cell,
+                        opts,
+                        "byte-identical summaries".into(),
+                        violation,
+                    ));
+                    case_findings += 1;
+                }
+            }
+            for cell in &fault_cells {
+                report.probes += 1;
+                if let Some(violation) = case.fault_nondet(&input, cell) {
+                    report.findings.push(build_finding(
+                        case.as_ref(),
+                        ReproKind::FaultNondet,
+                        &input,
+                        cell,
+                        opts,
+                        "deterministic fault recovery".into(),
+                        violation,
+                    ));
+                    case_findings += 1;
+                }
+            }
+        }
+    }
+    // Distinct matrix cells often shrink to the same minimal reproducer;
+    // keep one finding per artifact.
+    let mut seen: Vec<Artifact> = Vec::new();
+    report.findings.retain(|f| {
+        if seen.contains(&f.artifact) {
+            false
+        } else {
+            seen.push(f.artifact.clone());
+            true
+        }
+    });
+    report
+}
+
+/// Shrinks a disagreement and (optionally) writes its artifact.
+fn build_finding(
+    case: &dyn DynCase,
+    kind: ReproKind,
+    input: &CaseInput,
+    cell: &Cell,
+    opts: &OracleOptions,
+    expected: String,
+    actual: String,
+) -> Finding {
+    let sabotage = opts.sabotage;
+    let (min_input, min_cell) = match kind {
+        ReproKind::Mismatch => {
+            let fails = |i: &CaseInput, c: &Cell| {
+                if !case.supports(c) {
+                    return false;
+                }
+                let e = case.run_reference(i);
+                !outputs_agree(&e, &case.run_cell(i, c, sabotage), i)
+            };
+            shrink_case(input, cell, &fails)
+        }
+        ReproKind::SummaryNondet => {
+            let fails = |i: &CaseInput, c: &Cell| case.summary_nondet(i, c).is_some();
+            shrink_case(input, cell, &fails)
+        }
+        ReproKind::FaultNondet => {
+            let fails = |i: &CaseInput, c: &Cell| case.fault_nondet(i, c).is_some();
+            shrink_case(input, cell, &fails)
+        }
+    };
+
+    // Re-render the evidence on the minimized pair so the artifact shows
+    // the minimal disagreement, not the original one.
+    let (expected, actual) = match kind {
+        ReproKind::Mismatch => (
+            case.run_reference(&min_input),
+            case.run_cell(&min_input, &min_cell, sabotage),
+        ),
+        ReproKind::SummaryNondet => (
+            expected,
+            case.summary_nondet(&min_input, &min_cell).unwrap_or(actual),
+        ),
+        ReproKind::FaultNondet => (
+            expected,
+            case.fault_nondet(&min_input, &min_cell).unwrap_or(actual),
+        ),
+    };
+
+    let artifact = Artifact {
+        case: case.id().to_string(),
+        kind,
+        input: min_input,
+        cell: min_cell,
+        sabotage,
+        expected,
+        actual,
+    };
+
+    let path = if opts.write_artifacts {
+        write_artifact(case, &artifact, opts)
+    } else {
+        None
+    };
+
+    Finding {
+        artifact,
+        path,
+        original_input: input.clone(),
+        original_cell: *cell,
+    }
+}
+
+fn write_artifact(
+    case: &dyn DynCase,
+    artifact: &Artifact,
+    opts: &OracleOptions,
+) -> Option<PathBuf> {
+    let text = artifact.render(&case.events_debug(&artifact.input));
+    // Distinct minimal artifacts can share (case, kind, seed) — e.g. two
+    // matrix cells shrinking to different kept sets — so the filename
+    // carries a content hash to keep them from overwriting each other.
+    let name = format!(
+        "repro-{}-{}-{}-{:08x}.txt",
+        artifact.case,
+        artifact.kind.as_str(),
+        artifact.input.seed,
+        fnv1a(&text) as u32
+    );
+    let path = opts.artifact_dir.join(name);
+    if std::fs::create_dir_all(&opts.artifact_dir).is_err() {
+        return None;
+    }
+    match std::fs::write(&path, text) {
+        Ok(()) => Some(path),
+        Err(_) => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick_opts() -> OracleOptions {
+        OracleOptions {
+            case_filter: Some("G1".into()),
+            write_artifacts: false,
+            ..OracleOptions::new(Depth::Smoke)
+        }
+    }
+
+    #[test]
+    fn smoke_is_clean_on_one_case() {
+        let report = run_oracle(&quick_opts());
+        assert!(report.clean(), "findings: {:#?}", report.findings);
+        assert!(report.comparisons > 0);
+        assert!(report.probes > 0);
+    }
+
+    #[test]
+    fn sabotage_produces_a_minimized_finding() {
+        // OVF is a plain sum: dropping any nonzero event changes the
+        // output, so the sabotage is reliably observable (unlike latching
+        // aggregations such as G1, where late events rarely matter).
+        let opts = OracleOptions {
+            sabotage: Sabotage::DropLastEvent,
+            case_filter: Some("OVF".into()),
+            ..quick_opts()
+        };
+        let report = run_oracle(&opts);
+        assert!(!report.clean(), "sabotage must be detected");
+        let f = &report.findings[0];
+        // Minimal sabotage repro: few events, few chunks.
+        assert!(f.artifact.input.effective_len() <= f.original_input.effective_len());
+        assert!(f.artifact.cell.chunks <= f.original_cell.chunks);
+        // And it must still reproduce via the artifact path.
+        let outcome = f.artifact.replay().unwrap();
+        assert!(
+            matches!(outcome, crate::artifact::ReplayOutcome::Reproduced { .. }),
+            "{outcome:?}"
+        );
+    }
+
+    #[test]
+    fn reports_are_deterministic() {
+        let opts = OracleOptions {
+            sabotage: Sabotage::DropLastEvent,
+            case_filter: Some("OVF".into()),
+            ..quick_opts()
+        };
+        let a = run_oracle(&opts);
+        let b = run_oracle(&opts);
+        assert_eq!(a.comparisons, b.comparisons);
+        assert_eq!(a.findings.len(), b.findings.len());
+        for (x, y) in a.findings.iter().zip(&b.findings) {
+            assert_eq!(x.artifact, y.artifact);
+        }
+    }
+}

@@ -1,0 +1,104 @@
+//! Drives the `symple-oracle` binary itself: exit codes and the
+//! sweep → artifact → replay loop, exactly as CI and a human would use it.
+
+use std::path::PathBuf;
+use std::process::Command;
+
+fn oracle() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_symple-oracle"))
+}
+
+fn tmp_dir(tag: &str) -> PathBuf {
+    std::env::temp_dir().join(format!("symple-oracle-cli-{}-{tag}", std::process::id()))
+}
+
+#[test]
+fn help_exits_zero() {
+    let out = oracle().arg("--help").output().unwrap();
+    assert!(out.status.success());
+    assert!(String::from_utf8_lossy(&out.stdout).contains("--smoke"));
+}
+
+#[test]
+fn usage_errors_exit_two() {
+    for args in [
+        vec![],
+        vec!["--bogus"],
+        vec!["--smoke", "--seed", "notanumber"],
+        vec!["--replay", "/nonexistent/file.txt"],
+        vec!["--smoke", "--sabotage", "bogus"],
+    ] {
+        let out = oracle().args(&args).output().unwrap();
+        assert_eq!(out.status.code(), Some(2), "args {args:?}");
+    }
+}
+
+#[test]
+fn smoke_single_case_passes() {
+    let out = oracle()
+        .args(["--smoke", "--case", "T1", "--no-artifacts"])
+        .output()
+        .unwrap();
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert_eq!(out.status.code(), Some(0), "{stdout}");
+    assert!(stdout.contains("PASS"), "{stdout}");
+}
+
+#[test]
+fn sabotage_fails_writes_artifact_and_replays() {
+    let dir = tmp_dir("sabotage");
+    let _ = std::fs::remove_dir_all(&dir);
+
+    // 1. Sabotaged sweep must fail and write a repro.
+    let out = oracle()
+        .args([
+            "--smoke",
+            "--case",
+            "OVF",
+            "--sabotage",
+            "drop-last-event",
+            "--artifact-dir",
+        ])
+        .arg(&dir)
+        .output()
+        .unwrap();
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert_eq!(out.status.code(), Some(1), "{stdout}");
+    assert!(stdout.contains("FAIL"), "{stdout}");
+
+    let repro = std::fs::read_dir(&dir)
+        .unwrap()
+        .map(|e| e.unwrap().path())
+        .find(|p| p.extension().is_some_and(|e| e == "txt"))
+        .expect("a repro file");
+
+    // 2. Replaying the repro must reproduce (exit 1).
+    let out = oracle().arg("--replay").arg(&repro).output().unwrap();
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert_eq!(out.status.code(), Some(1), "{stdout}");
+    assert!(stdout.contains("REPRODUCED"), "{stdout}");
+
+    // 3. The same repro with the sabotage stripped no longer reproduces
+    //    (exit 0): the tree itself is sound.
+    let text = std::fs::read_to_string(&repro).unwrap();
+    let clean = text.replace("sabotage: drop-last-event", "sabotage: none");
+    let clean_path = dir.join("clean.txt");
+    std::fs::write(&clean_path, clean).unwrap();
+    let out = oracle().arg("--replay").arg(&clean_path).output().unwrap();
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert_eq!(out.status.code(), Some(0), "{stdout}");
+    assert!(stdout.contains("not reproduced"), "{stdout}");
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn replay_rejects_malformed_artifacts() {
+    let dir = tmp_dir("malformed");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("bad.txt");
+    std::fs::write(&path, "SYMPLE-ORACLE-REPRO v1\ncase: G1\n").unwrap();
+    let out = oracle().arg("--replay").arg(&path).output().unwrap();
+    assert_eq!(out.status.code(), Some(2));
+    let _ = std::fs::remove_dir_all(&dir);
+}

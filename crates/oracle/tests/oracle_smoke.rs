@@ -1,0 +1,44 @@
+//! The smoke sweep must be clean on the current tree: every query and
+//! adversarial case, through every smoke-matrix cell, agrees with the
+//! sequential reference. This is the same sweep CI runs via
+//! `symple-oracle --smoke`.
+
+use symple_oracle::{run_oracle, Depth, OracleOptions};
+
+#[test]
+fn full_smoke_sweep_is_clean() {
+    let opts = OracleOptions {
+        write_artifacts: false,
+        ..OracleOptions::new(Depth::Smoke)
+    };
+    let report = run_oracle(&opts);
+    assert!(
+        report.clean(),
+        "soundness findings on a clean tree: {:#?}",
+        report.findings
+    );
+    // The sweep actually did the work: all 17 cases × 3 input lengths ×
+    // (8-cell matrix, minus unsupported combinations).
+    assert!(report.comparisons > 300, "{}", report.comparisons);
+    assert!(report.probes > 100, "{}", report.probes);
+}
+
+#[test]
+fn smoke_sweep_is_seed_stable() {
+    // Different master seeds generate different inputs; the tree must be
+    // clean under all of them, and each must do the same amount of work.
+    let mut comparisons = None;
+    for seed in [1u64, 99, 0xDEAD_BEEF] {
+        let opts = OracleOptions {
+            seed,
+            write_artifacts: false,
+            ..OracleOptions::new(Depth::Smoke)
+        };
+        let report = run_oracle(&opts);
+        assert!(report.clean(), "seed {seed}: {:#?}", report.findings);
+        match comparisons {
+            None => comparisons = Some(report.comparisons),
+            Some(c) => assert_eq!(c, report.comparisons, "seed {seed}"),
+        }
+    }
+}

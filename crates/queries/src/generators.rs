@@ -1,0 +1,168 @@
+//! Seeded per-query event generators.
+//!
+//! Each evaluation query's UDA consumes a specific event type (§2.1's
+//! per-group event streams). These generators produce those streams
+//! directly — bypassing record synthesis, parsing, and grouping — from an
+//! explicit `u64` seed, so a differential harness can regenerate the exact
+//! input of any run from `(seed, len)` alone. The distributions mirror the
+//! datagen models closely enough to exercise every UDA branch: operation
+//! mixes that hit the interesting transitions, timestamp gaps that
+//! straddle the outage/session bounds, GPS traces with session breaks.
+//!
+//! The `symple-oracle` crate is the primary consumer; repro artifacts
+//! store only `(generator, seed, len)` plus the indices kept by shrinking.
+
+use symple_core::rng::Rng64;
+
+use crate::sessions::GpsCoord;
+
+/// Operation codes for the GitHub queries (G1–G3): `0..10`, with the
+/// low codes (push=0, delete=1, pull-open=2, pull-close=3) frequent
+/// enough that every state-machine transition fires in short streams.
+pub fn github_ops(seed: u64, len: usize) -> Vec<u8> {
+    let mut rng = Rng64::seed_from_u64(seed);
+    (0..len)
+        .map(|_| {
+            if rng.gen_bool(0.7) {
+                rng.gen_range(0u8..4)
+            } else {
+                rng.gen_range(0u8..10)
+            }
+        })
+        .collect()
+}
+
+/// `(op, timestamp)` events for G4: the op mix of [`github_ops`] paired
+/// with a monotonically non-decreasing timestamp.
+pub fn github_op_times(seed: u64, len: usize) -> Vec<(u8, i64)> {
+    let mut rng = Rng64::seed_from_u64(seed);
+    let mut t = rng.gen_range(0i64..1_000);
+    (0..len)
+        .map(|_| {
+            t += rng.gen_range(0i64..90);
+            let op = if rng.gen_bool(0.7) {
+                rng.gen_range(0u8..4)
+            } else {
+                rng.gen_range(0u8..10)
+            };
+            (op, t)
+        })
+        .collect()
+}
+
+/// Monotone timestamps for the gap queries (B1/B2/B3/R3): steps up to
+/// 300 against the 120-unit outage/session bound, so both "same
+/// session" and "gap" branches occur regularly.
+pub fn timestamps(seed: u64, len: usize) -> Vec<i64> {
+    let mut rng = Rng64::seed_from_u64(seed);
+    let mut t = rng.gen_range(0i64..500);
+    (0..len)
+        .map(|_| {
+            t += rng.gen_range(0i64..300);
+            t
+        })
+        .collect()
+}
+
+/// Spam flags for T1, ~30% spam.
+pub fn spam_flags(seed: u64, len: usize) -> Vec<bool> {
+    let mut rng = Rng64::seed_from_u64(seed);
+    (0..len).map(|_| rng.gen_bool(0.3)).collect()
+}
+
+/// Unit events for R1 (pure counting).
+pub fn unit_events(_seed: u64, len: usize) -> Vec<()> {
+    vec![(); len]
+}
+
+/// Country codes for R2: `0..5`, biased toward one country so the
+/// "single country" predicate flips both ways.
+pub fn country_codes(seed: u64, len: usize) -> Vec<u32> {
+    let mut rng = Rng64::seed_from_u64(seed);
+    (0..len)
+        .map(|_| {
+            if rng.gen_bool(0.75) {
+                0
+            } else {
+                rng.gen_range(0u32..5)
+            }
+        })
+        .collect()
+}
+
+/// Campaign ids for R4: `0..4` with short repeated runs.
+pub fn campaign_ids(seed: u64, len: usize) -> Vec<i64> {
+    let mut rng = Rng64::seed_from_u64(seed);
+    let mut current = rng.gen_range(0i64..4);
+    (0..len)
+        .map(|_| {
+            if rng.gen_bool(0.35) {
+                current = rng.gen_range(0i64..4);
+            }
+            current
+        })
+        .collect()
+}
+
+/// `(event_kind, item)` pairs for the F1 funnel: kinds `0..4`
+/// (search/view/review/purchase), items `0..6`.
+pub fn funnel_events(seed: u64, len: usize) -> Vec<(u8, u64)> {
+    let mut rng = Rng64::seed_from_u64(seed);
+    (0..len)
+        .map(|_| (rng.gen_range(0u8..4), rng.gen_range(0u64..6)))
+        .collect()
+}
+
+/// GPS traces for the §4.4 sessionizer: a small-step random walk with
+/// occasional jumps well past the session distance.
+pub fn gps_coords(seed: u64, len: usize) -> Vec<GpsCoord> {
+    let mut rng = Rng64::seed_from_u64(seed);
+    let (mut x, mut y) = (rng.gen_range(-10.0..10.0), rng.gen_range(-10.0..10.0));
+    (0..len)
+        .map(|_| {
+            if rng.gen_bool(0.15) {
+                x += rng.gen_range(-8.0..8.0);
+                y += rng.gen_range(-8.0..8.0);
+            } else {
+                x += rng.gen_range(-0.2..0.2);
+                y += rng.gen_range(-0.2..0.2);
+            }
+            (x, y)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generators_are_deterministic() {
+        assert_eq!(github_ops(7, 100), github_ops(7, 100));
+        assert_eq!(github_op_times(7, 100), github_op_times(7, 100));
+        assert_eq!(timestamps(7, 100), timestamps(7, 100));
+        assert_eq!(spam_flags(7, 100), spam_flags(7, 100));
+        assert_eq!(country_codes(7, 100), country_codes(7, 100));
+        assert_eq!(campaign_ids(7, 100), campaign_ids(7, 100));
+        assert_eq!(funnel_events(7, 100), funnel_events(7, 100));
+        assert_eq!(gps_coords(7, 100), gps_coords(7, 100));
+    }
+
+    #[test]
+    fn seeds_change_streams() {
+        assert_ne!(github_ops(1, 200), github_ops(2, 200));
+        assert_ne!(timestamps(1, 200), timestamps(2, 200));
+    }
+
+    #[test]
+    fn domains_respected() {
+        assert!(github_ops(3, 500).iter().all(|&op| op < 10));
+        assert!(country_codes(3, 500).iter().all(|&c| c < 5));
+        assert!(campaign_ids(3, 500).iter().all(|&c| (0..4).contains(&c)));
+        assert!(funnel_events(3, 500).iter().all(|&(k, i)| k < 4 && i < 6));
+        let ts = timestamps(3, 500);
+        assert!(ts.windows(2).all(|w| w[0] <= w[1]), "monotone");
+        let g4 = github_op_times(3, 500);
+        assert!(g4.windows(2).all(|w| w[0].1 <= w[1].1), "monotone");
+    }
+}

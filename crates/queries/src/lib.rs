@@ -33,6 +33,7 @@
 
 pub mod bing_q;
 pub mod funnel;
+pub mod generators;
 pub mod github_q;
 pub mod redshift_q;
 pub mod registry;

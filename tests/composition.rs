@@ -86,6 +86,39 @@ proptest! {
         }
     }
 
+    /// The empty chunk's summary is a two-sided identity for composition:
+    /// composing it on either side of S behaves exactly like S, and
+    /// applying it alone is a no-op.
+    #[test]
+    fn empty_summary_is_identity(
+        events in prop::collection::vec(0u8..10, 1..40),
+        probe in prop::collection::vec(0u8..10, 0..15),
+    ) {
+        let id = summarize(&[]);
+        let s = summarize(&events);
+        // Apply everything to a state reached by a random concrete prefix,
+        // not just the initial state.
+        let state = run_concrete_state(&G3Uda, probe.iter()).unwrap();
+
+        let noop = apply_summary(&id, &state).unwrap();
+        prop_assert_eq!(
+            noop.counts.concrete_elems().unwrap(),
+            state.counts.concrete_elems().unwrap()
+        );
+        prop_assert_eq!(noop.count.concrete_value(), state.count.concrete_value());
+
+        let plain = apply_summary(&s, &state).unwrap();
+        let left = apply_summary(&compose_summaries(&id, &s).unwrap(), &state).unwrap();
+        let right = apply_summary(&compose_summaries(&s, &id).unwrap(), &state).unwrap();
+        for composed in [left, right] {
+            prop_assert_eq!(
+                plain.counts.concrete_elems().unwrap(),
+                composed.counts.concrete_elems().unwrap()
+            );
+            prop_assert_eq!(plain.count.concrete_value(), composed.count.concrete_value());
+        }
+    }
+
     /// Collapsing a chain symbolically equals applying it sequentially.
     #[test]
     fn collapse_equals_apply(

@@ -1,6 +1,8 @@
 //! Failure injection: errors must propagate cleanly through jobs — never
 //! panic, never silently corrupt results.
 
+use proptest::prelude::*;
+
 use symple::core::engine::{EngineConfig, MergePolicy, SymbolicExecutor};
 use symple::core::prelude::*;
 use symple::core::uda::{run_sequential, Uda};
@@ -180,6 +182,144 @@ fn job_level_error_propagation() {
     let segments = split_into_segments(&records, 3, 8);
     let out = run_symple(&FaultyGroup, &OverflowUda, &segments, &JobConfig::default());
     assert!(out.is_err(), "{out:?}");
+}
+
+/// Input-determined overflow: non-negative events keep partial sums
+/// monotone, so whether the sum overflows depends only on the input —
+/// never on chunk placement. The property tests below rely on this.
+struct SumUda;
+
+#[derive(Clone, Debug)]
+struct SumState {
+    sum: SymInt,
+}
+symple::core::impl_sym_state!(SumState { sum });
+
+impl Uda for SumUda {
+    type State = SumState;
+    type Event = i64;
+    type Output = i64;
+    fn init(&self) -> SumState {
+        SumState {
+            sum: SymInt::new(0),
+        }
+    }
+    fn update(&self, s: &mut SumState, ctx: &mut SymCtx, e: &i64) {
+        s.sum.add(ctx, *e);
+    }
+    fn result(&self, s: &SumState, _ctx: &mut SymCtx) -> i64 {
+        s.sum.concrete_value().unwrap_or(0)
+    }
+}
+
+/// Whether an error is in the overflow family. A parallel executor may
+/// report input overflow as `ArithmeticOverflow` (tripped inside a
+/// chunk), `IncompleteSummary` (the running value falls outside every
+/// path constraint at apply time — constraints exclude inputs that would
+/// have overflowed), or `EmptyComposition` (no cross-chunk path pair
+/// stays feasible). What it may never do is return a wrong `Ok`.
+fn is_overflow_family(e: &Error) -> bool {
+    matches!(
+        e,
+        Error::ArithmeticOverflow { .. } | Error::IncompleteSummary | Error::EmptyComposition
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Sequential and chunked-symbolic agree on Ok values AND on whether
+    /// the input errors; an erroring input produces an overflow-family
+    /// error from every chunking, never a panic, never a wrong Ok.
+    #[test]
+    fn overflow_propagates_identically_chunked(
+        events in prop::collection::vec(
+            (0i64..1000).prop_map(|v| if v < 40 { i64::MAX / 8 } else { v }),
+            1..80,
+        ),
+        chunks in 1usize..7,
+    ) {
+        let seq = run_sequential(&SumUda, events.iter());
+        let par = run_chunked_symbolic(&SumUda, &events, chunks, &EngineConfig::default());
+        match (seq, par) {
+            (Ok(a), Ok(b)) => prop_assert_eq!(a, b),
+            (Err(se), Err(pe)) => {
+                prop_assert!(
+                    matches!(se, Error::ArithmeticOverflow { .. }),
+                    "sequential error must be the arithmetic one: {se:?}"
+                );
+                prop_assert!(is_overflow_family(&pe), "{pe:?}");
+            }
+            (Ok(a), Err(pe)) => {
+                return Err(TestCaseError::fail(format!(
+                    "chunked errored ({pe:?}) on an input the sequential run accepts ({a})"
+                )));
+            }
+            (Err(se), Ok(b)) => {
+                return Err(TestCaseError::fail(format!(
+                    "chunked silently returned Ok({b}) on an overflowing input ({se:?})"
+                )));
+            }
+        }
+    }
+
+    /// The same property through the full MapReduce job: Err on exactly
+    /// the same inputs, and identical per-key Ok output otherwise.
+    #[test]
+    fn overflow_propagates_identically_mapreduce(
+        events in prop::collection::vec(
+            (0i64..1000).prop_map(|v| if v < 30 { i64::MAX / 8 } else { v }),
+            1..60,
+        ),
+        num_segments in 1usize..6,
+    ) {
+        let seq = run_sequential(&SumUda, events.iter());
+        let segments = split_into_segments(&events, num_segments, 8);
+        let job = run_symple(&FaultyGroup, &SumUda, &segments, &JobConfig::default());
+        match (seq, job) {
+            (Ok(a), Ok(out)) => {
+                prop_assert_eq!(out.results.len(), 1);
+                prop_assert_eq!(out.results[0], (1u8, a));
+            }
+            (Err(_), Err(je)) => prop_assert!(is_overflow_family(&je), "{je:?}"),
+            (Ok(a), Err(je)) => {
+                return Err(TestCaseError::fail(format!(
+                    "job errored ({je:?}) where sequential gives Ok({a})"
+                )));
+            }
+            (Err(se), Ok(out)) => {
+                return Err(TestCaseError::fail(format!(
+                    "job returned Ok({:?}) on an overflowing input ({se:?})",
+                    out.results
+                )));
+            }
+        }
+    }
+
+    /// A path-exploding UDA must fail loudly (an engine-limit error) or
+    /// answer correctly — same contract chunked and sequential, any merge
+    /// policy, never a panic and never a silently different Ok.
+    #[test]
+    fn explosion_never_silently_corrupts(
+        events in prop::collection::vec(-50i64..50, 1..48),
+        chunks in 1usize..6,
+        policy_idx in 0usize..3,
+    ) {
+        let cfg = EngineConfig {
+            max_paths_per_record: 64,
+            max_total_paths: 4,
+            merge_policy: [MergePolicy::Eager, MergePolicy::HighWater, MergePolicy::Never]
+                [policy_idx],
+        };
+        let seq = run_sequential(&ExplodingUda, events.iter()).unwrap();
+        match run_chunked_symbolic(&ExplodingUda, &events, chunks, &cfg) {
+            Ok(par) => prop_assert_eq!(par, seq),
+            Err(Error::PathExplosion { .. } | Error::PredicateWindowExceeded { .. }) => {}
+            Err(other) => {
+                return Err(TestCaseError::fail(format!("unexpected error: {other:?}")));
+            }
+        }
+    }
 }
 
 #[test]

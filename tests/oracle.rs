@@ -1,0 +1,33 @@
+//! Tier-1 hook for the differential soundness oracle: the same smoke
+//! sweep `symple-oracle --smoke` runs in CI, driven as a library so that
+//! a plain `cargo test` cannot pass while the oracle finds a soundness
+//! disagreement.
+
+use symple_oracle::{run_oracle, Depth, OracleOptions, Sabotage};
+
+#[test]
+fn oracle_smoke_sweep_is_clean() {
+    let opts = OracleOptions {
+        write_artifacts: false,
+        ..OracleOptions::new(Depth::Smoke)
+    };
+    let report = run_oracle(&opts);
+    assert!(
+        report.clean(),
+        "the oracle found soundness disagreements: {:#?}",
+        report.findings
+    );
+}
+
+#[test]
+fn oracle_detects_a_planted_soundness_bug() {
+    // The inverse control: with a deliberately broken executor the sweep
+    // must fail — otherwise a green oracle proves nothing.
+    let opts = OracleOptions {
+        sabotage: Sabotage::DropLastEvent,
+        case_filter: Some("OVF".into()),
+        write_artifacts: false,
+        ..OracleOptions::new(Depth::Smoke)
+    };
+    assert!(!run_oracle(&opts).clean());
+}
