@@ -1,0 +1,116 @@
+//! Overhead of the disabled observability layer on a map-phase-like loop.
+//!
+//! The acceptance bar for `symple-obs` is that with tracing disabled the
+//! map phase pays ≤5% overhead. The real wiring opens one span per map
+//! *task* and bumps counters once per chunk (`symple_job.rs`,
+//! `executor.rs`), so `disabled_per_task` models the shipped density:
+//! chunks of 2 000 records, one span + seven counter calls per chunk.
+//! `disabled_per_record` is the worst-case stress (a span and counter on
+//! every record — ~300× denser than shipped), and `enabled_per_task`
+//! shows what turning the layer on costs. Compare medians against
+//! `uninstrumented`.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+
+const RECORDS: u64 = 100_000;
+const CHUNK: u64 = 2_000;
+
+/// Stand-in for per-record map work: parse-ish arithmetic heavy enough to
+/// dominate an atomic load, light enough that overhead would show.
+fn record_work(i: u64) -> u64 {
+    let mut h = i ^ 0x9e37_79b9_7f4a_7c15;
+    h = h.wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    h ^= h >> 27;
+    h = h.wrapping_mul(0x94d0_49bb_1331_11eb);
+    h ^ (h >> 31)
+}
+
+/// One bare map task: the record loop with no instrumentation. Kept as a
+/// separate `#[inline(never)]` function so the baseline has the same call
+/// structure as [`chunked_task`] and the comparison isolates the obs
+/// calls rather than codegen differences.
+#[inline(never)]
+fn bare_task(start: u64) -> u64 {
+    let mut acc = 0u64;
+    for i in start..start + CHUNK {
+        acc = acc.wrapping_add(record_work(black_box(i)));
+    }
+    acc
+}
+
+/// One map task at the shipped instrumentation density: a task span, the
+/// record loop, then the chunk counters `executor::finish` bumps.
+#[inline(never)]
+fn chunked_task(start: u64) -> u64 {
+    let _span = symple_obs::span("bench.map_task");
+    let mut acc = 0u64;
+    for i in start..start + CHUNK {
+        acc = acc.wrapping_add(record_work(black_box(i)));
+    }
+    if symple_obs::enabled() {
+        symple_obs::counter_add("engine.chunks", 1);
+        symple_obs::counter_add("engine.records", CHUNK);
+    }
+    acc
+}
+
+fn bench_obs_overhead(c: &mut Criterion) {
+    let mut g = c.benchmark_group("obs_overhead");
+    g.throughput(Throughput::Elements(RECORDS));
+
+    symple_obs::set_enabled(false);
+    g.bench_function("uninstrumented", |b| {
+        b.iter(|| {
+            let mut acc = 0u64;
+            let mut start = 0;
+            while start < RECORDS {
+                acc = acc.wrapping_add(bare_task(start));
+                start += CHUNK;
+            }
+            acc
+        })
+    });
+
+    g.bench_function("disabled_per_task", |b| {
+        b.iter(|| {
+            let mut acc = 0u64;
+            let mut start = 0;
+            while start < RECORDS {
+                acc = acc.wrapping_add(chunked_task(start));
+                start += CHUNK;
+            }
+            acc
+        })
+    });
+
+    g.bench_function("disabled_per_record", |b| {
+        b.iter(|| {
+            let mut acc = 0u64;
+            for i in 0..RECORDS {
+                let _span = symple_obs::span("bench.record");
+                symple_obs::counter_add("bench.records", 1);
+                acc = acc.wrapping_add(record_work(black_box(i)));
+            }
+            acc
+        })
+    });
+
+    symple_obs::set_enabled(true);
+    g.bench_function("enabled_per_task", |b| {
+        b.iter(|| {
+            let mut acc = 0u64;
+            let mut start = 0;
+            while start < RECORDS {
+                acc = acc.wrapping_add(chunked_task(start));
+                start += CHUNK;
+            }
+            acc
+        })
+    });
+    symple_obs::set_enabled(false);
+
+    g.finish();
+}
+
+criterion_group!(benches, bench_obs_overhead);
+criterion_main!(benches);

@@ -1,0 +1,326 @@
+//! `symple-bench` — the perf-regression harness behind `BENCH_*.json`.
+//!
+//! Runs the query registry across an executor × chunk-count matrix,
+//! collects [`symple_mapreduce::JobMetrics`] plus exploration stats and
+//! summary wire sizes, and emits a schema-versioned JSON report that
+//! later PRs diff against.
+//!
+//! ```text
+//! symple-bench [--smoke] [--records N] [--out FILE]      measure + emit
+//! symple-bench --validate FILE                           schema-check
+//! symple-bench --baseline BASE [CURRENT] [--threshold P] diff, exit 1 on regressions
+//! ```
+//!
+//! `--smoke` measures a 4-query subset at small scale (the CI job);
+//! `--obs` additionally enables the tracing layer and prints its span /
+//! counter snapshot to stderr. The default output file is
+//! `BENCH_pr2.json`, which doubles as the current file for `--baseline`
+//! when no explicit CURRENT is given — so
+//! `symple-bench --baseline BENCH_pr2.json` self-diffs the checked-in
+//! report and must report zero regressions.
+
+use std::process::ExitCode;
+
+use symple_bench::report::{diff_reports, BenchReport, BenchRow};
+use symple_bench::{measurement_scale, DEFAULT_RECORDS};
+use symple_mapreduce::JobConfig;
+use symple_queries::{runner_by_id, Backend};
+
+/// Default report path (also the checked-in artifact name for this PR).
+const DEFAULT_OUT: &str = "BENCH_pr2.json";
+/// Default regression threshold, percent.
+const DEFAULT_THRESHOLD: f64 = 25.0;
+
+/// Queries measured by `--smoke` (one per dataset family).
+const SMOKE_QUERIES: [&str; 4] = ["G1", "B1", "T1", "R1"];
+/// Full matrix: the 12 Table-1 queries.
+const FULL_QUERIES: [&str; 12] = [
+    "G1", "G2", "G3", "G4", "B1", "B2", "B3", "T1", "R1", "R2", "R3", "R4",
+];
+
+/// Executors in the matrix (fast-path baseline vs SYMPLE).
+const BACKENDS: [Backend; 2] = [Backend::Baseline, Backend::Symple];
+
+struct Opts {
+    smoke: bool,
+    records: Option<usize>,
+    out: String,
+    baseline: Option<String>,
+    current: Option<String>,
+    validate: Option<String>,
+    threshold: f64,
+    obs: bool,
+}
+
+fn parse_args() -> Result<Opts, String> {
+    let mut opts = Opts {
+        smoke: false,
+        records: None,
+        out: DEFAULT_OUT.to_string(),
+        baseline: None,
+        current: None,
+        validate: None,
+        threshold: DEFAULT_THRESHOLD,
+        obs: false,
+    };
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut i = 0;
+    let need = |args: &[String], i: usize, flag: &str| -> Result<String, String> {
+        args.get(i + 1)
+            .cloned()
+            .ok_or_else(|| format!("{flag} needs a value"))
+    };
+    while i < args.len() {
+        match args[i].as_str() {
+            "--smoke" => opts.smoke = true,
+            "--obs" => opts.obs = true,
+            "--records" => {
+                opts.records = Some(
+                    need(&args, i, "--records")?
+                        .parse()
+                        .map_err(|e| format!("--records: {e}"))?,
+                );
+                i += 1;
+            }
+            "--out" => {
+                opts.out = need(&args, i, "--out")?;
+                i += 1;
+            }
+            "--baseline" => {
+                opts.baseline = Some(need(&args, i, "--baseline")?);
+                i += 1;
+                // Optional positional CURRENT right after the baseline path.
+                if let Some(next) = args.get(i + 1) {
+                    if !next.starts_with("--") {
+                        opts.current = Some(next.clone());
+                        i += 1;
+                    }
+                }
+            }
+            "--validate" => {
+                opts.validate = Some(need(&args, i, "--validate")?);
+                i += 1;
+            }
+            "--threshold" => {
+                opts.threshold = need(&args, i, "--threshold")?
+                    .parse()
+                    .map_err(|e| format!("--threshold: {e}"))?;
+                i += 1;
+            }
+            "--help" | "-h" => {
+                println!(
+                    "symple-bench: perf-regression harness emitting {DEFAULT_OUT}\n\n\
+                     USAGE:\n  symple-bench [--smoke] [--records N] [--out FILE] [--obs]\n  \
+                     symple-bench --validate FILE\n  \
+                     symple-bench --baseline BASE [CURRENT] [--threshold PCT]\n\n\
+                     Measures {n_full} queries x {n_back} executors x chunk counts \
+                     (4 queries at reduced scale with --smoke), writes a \
+                     schema-versioned JSON report, and in --baseline mode exits 1 \
+                     when any wall/cpu/shuffle/summary metric regresses past the \
+                     threshold (default {DEFAULT_THRESHOLD}%) or an output hash changes.",
+                    n_full = FULL_QUERIES.len(),
+                    n_back = BACKENDS.len(),
+                );
+                std::process::exit(0);
+            }
+            other => return Err(format!("unknown argument '{other}' (try --help)")),
+        }
+        i += 1;
+    }
+    Ok(opts)
+}
+
+fn main() -> ExitCode {
+    let opts = match parse_args() {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("symple-bench: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    if let Some(path) = &opts.validate {
+        return validate(path);
+    }
+    if let Some(base) = &opts.baseline {
+        let current = opts.current.clone().unwrap_or_else(|| opts.out.clone());
+        return baseline_diff(base, &current, opts.threshold);
+    }
+    measure_and_emit(&opts)
+}
+
+/// `--validate FILE`: parse + schema-check, print a one-line summary.
+fn validate(path: &str) -> ExitCode {
+    let text = match std::fs::read_to_string(path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("symple-bench: cannot read {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    match BenchReport::parse(&text) {
+        Ok(r) => {
+            println!(
+                "{path}: valid {schema} report — {rows} rows, git {sha}, host {os}/{arch}x{cores}",
+                schema = r.schema,
+                rows = r.rows.len(),
+                sha = &r.git_sha[..r.git_sha.len().min(12)],
+                os = r.host.os,
+                arch = r.host.arch,
+                cores = r.host.cores,
+            );
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("symple-bench: {path} is not a valid report: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+/// `--baseline BASE CURRENT`: diff two reports, exit 1 on regressions.
+fn baseline_diff(base_path: &str, cur_path: &str, threshold: f64) -> ExitCode {
+    let load = |path: &str| -> Result<BenchReport, String> {
+        let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+        BenchReport::parse(&text).map_err(|e| format!("{path}: {e}"))
+    };
+    let (base, cur) = match (load(base_path), load(cur_path)) {
+        (Ok(b), Ok(c)) => (b, c),
+        (Err(e), _) | (_, Err(e)) => {
+            eprintln!("symple-bench: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    if base.host != cur.host {
+        println!(
+            "note: comparing across hosts ({}/{}x{} vs {}/{}x{}) — timings are indicative only",
+            base.host.os,
+            base.host.arch,
+            base.host.cores,
+            cur.host.os,
+            cur.host.arch,
+            cur.host.cores
+        );
+    }
+    let diff = diff_reports(&base, &cur, threshold);
+    for note in &diff.notes {
+        println!("note: {note}");
+    }
+    println!(
+        "compared {} cells ({} vs {}), threshold {threshold}%",
+        diff.compared, base.git_sha, cur.git_sha
+    );
+    if diff.clean() {
+        println!("no regressions");
+        ExitCode::SUCCESS
+    } else {
+        for r in &diff.regressions {
+            if r.metric == "output_hash" {
+                println!(
+                    "REGRESSION {key}: output hash changed (answer differs)",
+                    key = r.key
+                );
+            } else {
+                println!(
+                    "REGRESSION {key}: {metric} {base:.3} -> {cur:.3} (+{pct:.1}%)",
+                    key = r.key,
+                    metric = r.metric,
+                    base = r.base,
+                    cur = r.current,
+                    pct = r.pct
+                );
+            }
+        }
+        println!("{} regression(s) past {threshold}%", diff.regressions.len());
+        ExitCode::FAILURE
+    }
+}
+
+/// Default mode: run the matrix and write the JSON report.
+fn measure_and_emit(opts: &Opts) -> ExitCode {
+    if opts.obs {
+        symple_obs::set_enabled(true);
+    } else {
+        symple_obs::init_from_env();
+    }
+    let queries: &[&str] = if opts.smoke {
+        &SMOKE_QUERIES
+    } else {
+        &FULL_QUERIES
+    };
+    let segment_counts: &[usize] = if opts.smoke { &[2, 8] } else { &[4, 8, 16] };
+    let records = opts
+        .records
+        .unwrap_or(if opts.smoke { 3_000 } else { DEFAULT_RECORDS });
+
+    let mut report = BenchReport::new_now();
+    let job = JobConfig::default();
+    eprintln!(
+        "symple-bench: {} queries x {} backends x {:?} segments at {records} records",
+        queries.len(),
+        BACKENDS.len(),
+        segment_counts
+    );
+    for id in queries {
+        let runner = match runner_by_id(id) {
+            Some(r) => r,
+            None => {
+                eprintln!("symple-bench: unknown query id {id}");
+                return ExitCode::FAILURE;
+            }
+        };
+        for &segments in segment_counts {
+            let mut scale = measurement_scale(id, records);
+            scale.segments = segments;
+            for backend in BACKENDS {
+                let run = match runner.run(&scale, backend, &job) {
+                    Ok(r) => r,
+                    Err(e) => {
+                        eprintln!("symple-bench: {id}/{} failed: {e}", backend.label());
+                        return ExitCode::FAILURE;
+                    }
+                };
+                let row = BenchRow::from_report(
+                    id,
+                    backend.label(),
+                    segments as u64,
+                    records as u64,
+                    &run,
+                );
+                eprintln!(
+                    "  {id:>3}/{backend:<10} {segments:>2} seg: wall {wall:>8.2} ms, cpu {cpu:>8.2} ms, \
+                     shuffle {sh} B, summaries {sm} B",
+                    backend = backend.label(),
+                    wall = row.wall_ms,
+                    cpu = row.cpu_ms,
+                    sh = row.shuffle_bytes,
+                    sm = row.summary_bytes,
+                );
+                report.rows.push(row);
+            }
+        }
+    }
+
+    let text = report.render();
+    if let Err(e) = std::fs::write(&opts.out, &text) {
+        eprintln!("symple-bench: cannot write {}: {e}", opts.out);
+        return ExitCode::FAILURE;
+    }
+    // Paranoia: never ship a file the validator would reject.
+    if let Err(e) = BenchReport::parse(&text) {
+        eprintln!("symple-bench: emitted report fails its own schema check: {e}");
+        return ExitCode::FAILURE;
+    }
+    println!(
+        "wrote {out}: {rows} rows, git {sha}",
+        out = opts.out,
+        rows = report.rows.len(),
+        sha = &report.git_sha[..report.git_sha.len().min(12)]
+    );
+
+    if opts.obs {
+        let snap = symple_obs::snapshot();
+        eprintln!("--- obs snapshot ---\n{}", snap.render());
+    }
+    ExitCode::SUCCESS
+}

@@ -23,6 +23,9 @@
 //! (default 200 000) and prints machine-parseable rows; EXPERIMENTS.md
 //! records a full run against the paper's numbers.
 
+pub mod json;
+pub mod report;
+
 use symple_cluster::{MeasuredProfile, PaperTarget};
 use symple_core::error::Result;
 use symple_mapreduce::JobConfig;

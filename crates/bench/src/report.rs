@@ -1,0 +1,589 @@
+//! The `BENCH_*.json` schema: a schema-versioned, machine-checked record
+//! of one perf-regression sweep, plus the baseline diff that gates on it.
+//!
+//! Every future PR is judged against these files, so the format is a
+//! compatibility surface like the summary wire format: the golden-schema
+//! test (`tests/golden_bench_schema.rs`) pins the exact serialization, and
+//! [`SCHEMA`] must be bumped on any shape change.
+
+use std::time::{SystemTime, UNIX_EPOCH};
+
+use symple_mapreduce::JobMetrics;
+use symple_queries::QueryReport;
+
+use crate::json::{obj, Json};
+
+/// Schema identifier embedded in every report.
+pub const SCHEMA: &str = "symple-bench/v1";
+
+/// Machine facts recorded alongside measurements, so numbers from
+/// different hosts are never compared blindly.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HostInfo {
+    /// `std::env::consts::OS`.
+    pub os: String,
+    /// `std::env::consts::ARCH`.
+    pub arch: String,
+    /// Available parallelism.
+    pub cores: u64,
+}
+
+impl HostInfo {
+    /// Probes the current machine.
+    pub fn current() -> HostInfo {
+        HostInfo {
+            os: std::env::consts::OS.to_string(),
+            arch: std::env::consts::ARCH.to_string(),
+            cores: std::thread::available_parallelism()
+                .map(|p| p.get() as u64)
+                .unwrap_or(1),
+        }
+    }
+}
+
+/// Symbolic-exploration counters for one run (zero for non-SYMPLE
+/// backends).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ExploreCounters {
+    /// Records fed to symbolic executors.
+    pub records: u64,
+    /// Update-function runs.
+    pub runs: u64,
+    /// Branch forks taken.
+    pub forks: u64,
+    /// Successful path merges.
+    pub merges: u64,
+    /// Flush/restart events.
+    pub restarts: u64,
+    /// Peak live paths in any one chunk.
+    pub max_live_paths: u64,
+}
+
+/// One measured `(query, backend, segments)` cell.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BenchRow {
+    /// Query id (`"G1"`, …).
+    pub query: String,
+    /// Backend label (`"MapReduce"`, `"SYMPLE"`, `"Sequential"`).
+    pub backend: String,
+    /// Input segment (= mapper/chunk) count.
+    pub segments: u64,
+    /// Records generated for the run.
+    pub records: u64,
+    /// End-to-end wall milliseconds (map + reduce barriers).
+    pub wall_ms: f64,
+    /// Summed busy milliseconds across phases.
+    pub cpu_ms: f64,
+    /// Map-phase CPU milliseconds.
+    pub map_cpu_ms: f64,
+    /// Reduce-phase CPU milliseconds.
+    pub reduce_cpu_ms: f64,
+    /// Raw-input throughput, MB/s.
+    pub throughput_mb_s: f64,
+    /// Bytes crossing the shuffle.
+    pub shuffle_bytes: u64,
+    /// Shuffle records.
+    pub shuffle_records: u64,
+    /// Encoded summary bytes (SYMPLE only; compactness axis).
+    pub summary_bytes: u64,
+    /// Result groups.
+    pub groups: u64,
+    /// Order-independent output fingerprint, `0x`-hex (cross-backend and
+    /// cross-run correctness anchor).
+    pub output_hash: String,
+    /// Exploration counters.
+    pub explore: ExploreCounters,
+}
+
+impl BenchRow {
+    /// Builds a row from a query report.
+    pub fn from_report(
+        query: &str,
+        backend: &str,
+        segments: u64,
+        records: u64,
+        report: &QueryReport,
+    ) -> BenchRow {
+        let m: &JobMetrics = &report.metrics;
+        BenchRow {
+            query: query.to_string(),
+            backend: backend.to_string(),
+            segments,
+            records,
+            wall_ms: m.total_wall().as_secs_f64() * 1e3,
+            cpu_ms: m.total_cpu().as_secs_f64() * 1e3,
+            map_cpu_ms: m.map_cpu.as_secs_f64() * 1e3,
+            reduce_cpu_ms: m.reduce_cpu.as_secs_f64() * 1e3,
+            throughput_mb_s: m.throughput_mb_s(),
+            shuffle_bytes: m.shuffle_bytes,
+            shuffle_records: m.shuffle_records,
+            summary_bytes: m.summary_bytes,
+            groups: m.groups,
+            output_hash: format!("{:#018x}", report.output_hash),
+            explore: ExploreCounters {
+                records: m.explore.records,
+                runs: m.explore.runs,
+                forks: m.explore.forks,
+                merges: m.explore.merges,
+                restarts: m.explore.restarts,
+                max_live_paths: m.explore.max_live_paths as u64,
+            },
+        }
+    }
+
+    fn to_json(&self) -> Json {
+        let e = &self.explore;
+        obj(vec![
+            ("query", Json::Str(self.query.clone())),
+            ("backend", Json::Str(self.backend.clone())),
+            ("segments", Json::Num(self.segments as f64)),
+            ("records", Json::Num(self.records as f64)),
+            ("wall_ms", Json::Num(round3(self.wall_ms))),
+            ("cpu_ms", Json::Num(round3(self.cpu_ms))),
+            ("map_cpu_ms", Json::Num(round3(self.map_cpu_ms))),
+            ("reduce_cpu_ms", Json::Num(round3(self.reduce_cpu_ms))),
+            ("throughput_mb_s", Json::Num(round3(self.throughput_mb_s))),
+            ("shuffle_bytes", Json::Num(self.shuffle_bytes as f64)),
+            ("shuffle_records", Json::Num(self.shuffle_records as f64)),
+            ("summary_bytes", Json::Num(self.summary_bytes as f64)),
+            ("groups", Json::Num(self.groups as f64)),
+            ("output_hash", Json::Str(self.output_hash.clone())),
+            (
+                "explore",
+                obj(vec![
+                    ("records", Json::Num(e.records as f64)),
+                    ("runs", Json::Num(e.runs as f64)),
+                    ("forks", Json::Num(e.forks as f64)),
+                    ("merges", Json::Num(e.merges as f64)),
+                    ("restarts", Json::Num(e.restarts as f64)),
+                    ("max_live_paths", Json::Num(e.max_live_paths as f64)),
+                ]),
+            ),
+        ])
+    }
+
+    fn from_json(v: &Json) -> Result<BenchRow, String> {
+        let s = |k: &str| -> Result<String, String> {
+            v.get(k)
+                .and_then(Json::as_str)
+                .map(str::to_string)
+                .ok_or_else(|| format!("row missing string field '{k}'"))
+        };
+        let u = |k: &str| -> Result<u64, String> {
+            v.get(k)
+                .and_then(Json::as_u64)
+                .ok_or_else(|| format!("row missing integer field '{k}'"))
+        };
+        let f = |k: &str| -> Result<f64, String> {
+            v.get(k)
+                .and_then(Json::as_f64)
+                .ok_or_else(|| format!("row missing number field '{k}'"))
+        };
+        let ev = v.get("explore").ok_or("row missing 'explore'")?;
+        let eu = |k: &str| -> Result<u64, String> {
+            ev.get(k)
+                .and_then(Json::as_u64)
+                .ok_or_else(|| format!("explore missing integer field '{k}'"))
+        };
+        Ok(BenchRow {
+            query: s("query")?,
+            backend: s("backend")?,
+            segments: u("segments")?,
+            records: u("records")?,
+            wall_ms: f("wall_ms")?,
+            cpu_ms: f("cpu_ms")?,
+            map_cpu_ms: f("map_cpu_ms")?,
+            reduce_cpu_ms: f("reduce_cpu_ms")?,
+            throughput_mb_s: f("throughput_mb_s")?,
+            shuffle_bytes: u("shuffle_bytes")?,
+            shuffle_records: u("shuffle_records")?,
+            summary_bytes: u("summary_bytes")?,
+            groups: u("groups")?,
+            output_hash: s("output_hash")?,
+            explore: ExploreCounters {
+                records: eu("records")?,
+                runs: eu("runs")?,
+                forks: eu("forks")?,
+                merges: eu("merges")?,
+                restarts: eu("restarts")?,
+                max_live_paths: eu("max_live_paths")?,
+            },
+        })
+    }
+}
+
+/// A full sweep: metadata plus one row per matrix cell.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BenchReport {
+    /// Always [`SCHEMA`] on emission; checked on parse.
+    pub schema: String,
+    /// Seconds since the Unix epoch at emission.
+    pub created_unix: u64,
+    /// `git rev-parse HEAD` of the measured tree (or `"unknown"`).
+    pub git_sha: String,
+    /// Measuring machine.
+    pub host: HostInfo,
+    /// The measured cells, in matrix order.
+    pub rows: Vec<BenchRow>,
+}
+
+impl BenchReport {
+    /// An empty report stamped with the current time, host, and git sha.
+    pub fn new_now() -> BenchReport {
+        BenchReport {
+            schema: SCHEMA.to_string(),
+            created_unix: SystemTime::now()
+                .duration_since(UNIX_EPOCH)
+                .map(|d| d.as_secs())
+                .unwrap_or(0),
+            git_sha: git_head_sha(),
+            host: HostInfo::current(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Serializes to the canonical JSON text.
+    pub fn render(&self) -> String {
+        obj(vec![
+            ("schema", Json::Str(self.schema.clone())),
+            ("created_unix", Json::Num(self.created_unix as f64)),
+            ("git_sha", Json::Str(self.git_sha.clone())),
+            (
+                "host",
+                obj(vec![
+                    ("os", Json::Str(self.host.os.clone())),
+                    ("arch", Json::Str(self.host.arch.clone())),
+                    ("cores", Json::Num(self.host.cores as f64)),
+                ]),
+            ),
+            (
+                "rows",
+                Json::Arr(self.rows.iter().map(BenchRow::to_json).collect()),
+            ),
+        ])
+        .render()
+    }
+
+    /// Parses and schema-validates a report.
+    pub fn parse(text: &str) -> Result<BenchReport, String> {
+        let v = Json::parse(text)?;
+        let schema = v
+            .get("schema")
+            .and_then(Json::as_str)
+            .ok_or("missing 'schema'")?;
+        if schema != SCHEMA {
+            return Err(format!("unsupported schema '{schema}' (want '{SCHEMA}')"));
+        }
+        let host = v.get("host").ok_or("missing 'host'")?;
+        let rows = v
+            .get("rows")
+            .and_then(Json::as_array)
+            .ok_or("missing 'rows' array")?;
+        Ok(BenchReport {
+            schema: schema.to_string(),
+            created_unix: v
+                .get("created_unix")
+                .and_then(Json::as_u64)
+                .ok_or("missing 'created_unix'")?,
+            git_sha: v
+                .get("git_sha")
+                .and_then(Json::as_str)
+                .ok_or("missing 'git_sha'")?
+                .to_string(),
+            host: HostInfo {
+                os: host
+                    .get("os")
+                    .and_then(Json::as_str)
+                    .ok_or("host missing 'os'")?
+                    .to_string(),
+                arch: host
+                    .get("arch")
+                    .and_then(Json::as_str)
+                    .ok_or("host missing 'arch'")?
+                    .to_string(),
+                cores: host
+                    .get("cores")
+                    .and_then(Json::as_u64)
+                    .ok_or("host missing 'cores'")?,
+            },
+            rows: rows
+                .iter()
+                .enumerate()
+                .map(|(i, r)| BenchRow::from_json(r).map_err(|e| format!("rows[{i}]: {e}")))
+                .collect::<Result<Vec<_>, _>>()?,
+        })
+    }
+}
+
+/// Rounds to 3 decimals so report bytes don't churn on sub-microsecond
+/// noise (and stay shortest-form in JSON).
+fn round3(v: f64) -> f64 {
+    (v * 1e3).round() / 1e3
+}
+
+/// The current `HEAD` commit, or `"unknown"` outside a git checkout.
+pub fn git_head_sha() -> String {
+    std::process::Command::new("git")
+        .args(["rev-parse", "HEAD"])
+        .output()
+        .ok()
+        .filter(|o| o.status.success())
+        .and_then(|o| String::from_utf8(o.stdout).ok())
+        .map(|s| s.trim().to_string())
+        .filter(|s| !s.is_empty())
+        .unwrap_or_else(|| "unknown".to_string())
+}
+
+// ---------------------------------------------------------------- diffing
+
+/// One metric that got worse past the threshold (or a correctness break).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Regression {
+    /// `(query, backend, segments)` cell key.
+    pub key: String,
+    /// Which metric regressed.
+    pub metric: String,
+    /// Baseline value.
+    pub base: f64,
+    /// Current value.
+    pub current: f64,
+    /// Relative change in percent (positive = worse).
+    pub pct: f64,
+}
+
+/// Outcome of comparing a current report against a baseline.
+#[derive(Debug, Clone, Default)]
+pub struct DiffReport {
+    /// Regressions past the threshold, worst first.
+    pub regressions: Vec<Regression>,
+    /// Cells compared.
+    pub compared: u64,
+    /// Non-fatal notes (rows present on one side only, scale mismatches).
+    pub notes: Vec<String>,
+}
+
+impl DiffReport {
+    /// True when no regression crossed the threshold.
+    pub fn clean(&self) -> bool {
+        self.regressions.is_empty()
+    }
+}
+
+/// Compares `current` against `base`, flagging any timed metric that got
+/// slower by more than `threshold_pct` percent and any byte metric that
+/// grew past the same bound. Output-hash changes are always regressions
+/// (they mean the *answer* changed). Rows are matched on
+/// `(query, backend, segments, records)`; unmatched rows produce notes,
+/// not failures, so matrices can grow over time.
+pub fn diff_reports(base: &BenchReport, current: &BenchReport, threshold_pct: f64) -> DiffReport {
+    let mut out = DiffReport::default();
+    let key = |r: &BenchRow| (r.query.clone(), r.backend.clone(), r.segments, r.records);
+    for cur in &current.rows {
+        let Some(b) = base.rows.iter().find(|b| key(b) == key(cur)) else {
+            out.notes.push(format!(
+                "new cell {}/{}@{}seg ({} records): no baseline",
+                cur.query, cur.backend, cur.segments, cur.records
+            ));
+            continue;
+        };
+        out.compared += 1;
+        let cell = format!("{}/{}@{}seg", cur.query, cur.backend, cur.segments);
+        if b.output_hash != cur.output_hash {
+            out.regressions.push(Regression {
+                key: cell.clone(),
+                metric: "output_hash".to_string(),
+                base: 0.0,
+                current: 0.0,
+                pct: f64::INFINITY,
+            });
+        }
+        let checks: [(&str, f64, f64); 4] = [
+            ("wall_ms", b.wall_ms, cur.wall_ms),
+            ("cpu_ms", b.cpu_ms, cur.cpu_ms),
+            (
+                "shuffle_bytes",
+                b.shuffle_bytes as f64,
+                cur.shuffle_bytes as f64,
+            ),
+            (
+                "summary_bytes",
+                b.summary_bytes as f64,
+                cur.summary_bytes as f64,
+            ),
+        ];
+        for (metric, base_v, cur_v) in checks {
+            if base_v <= 0.0 {
+                continue; // Nothing to regress against (e.g. baseline backend summary bytes).
+            }
+            let pct = (cur_v - base_v) / base_v * 100.0;
+            if pct > threshold_pct {
+                out.regressions.push(Regression {
+                    key: cell.clone(),
+                    metric: metric.to_string(),
+                    base: base_v,
+                    current: cur_v,
+                    pct,
+                });
+            }
+        }
+    }
+    for b in &base.rows {
+        if !current.rows.iter().any(|c| key(c) == key(b)) {
+            out.notes.push(format!(
+                "cell {}/{}@{}seg ({} records) dropped from current run",
+                b.query, b.backend, b.segments, b.records
+            ));
+        }
+    }
+    out.regressions.sort_by(|a, b| {
+        b.pct
+            .partial_cmp(&a.pct)
+            .unwrap_or(std::cmp::Ordering::Equal)
+    });
+    out
+}
+
+/// A fixed, synthetic report used by the golden-schema test and the
+/// self-diff tests: every field is deterministic, no clocks or hosts.
+pub fn synthetic_report() -> BenchReport {
+    BenchReport {
+        schema: SCHEMA.to_string(),
+        created_unix: 1_700_000_000,
+        git_sha: "0123456789abcdef0123456789abcdef01234567".to_string(),
+        host: HostInfo {
+            os: "linux".to_string(),
+            arch: "x86_64".to_string(),
+            cores: 8,
+        },
+        rows: vec![
+            BenchRow {
+                query: "G1".to_string(),
+                backend: "SYMPLE".to_string(),
+                segments: 8,
+                records: 3000,
+                wall_ms: 12.5,
+                cpu_ms: 48.25,
+                map_cpu_ms: 40.0,
+                reduce_cpu_ms: 8.25,
+                throughput_mb_s: 104.333,
+                shuffle_bytes: 18_432,
+                shuffle_records: 640,
+                summary_bytes: 16_900,
+                groups: 88,
+                output_hash: "0x00deadbeef015ca1".to_string(),
+                explore: ExploreCounters {
+                    records: 2625,
+                    runs: 5250,
+                    forks: 901,
+                    merges: 640,
+                    restarts: 3,
+                    max_live_paths: 4,
+                },
+            },
+            BenchRow {
+                query: "G1".to_string(),
+                backend: "MapReduce".to_string(),
+                segments: 8,
+                records: 3000,
+                wall_ms: 9.0,
+                cpu_ms: 31.5,
+                map_cpu_ms: 12.0,
+                reduce_cpu_ms: 19.5,
+                throughput_mb_s: 144.9,
+                shuffle_bytes: 96_000,
+                shuffle_records: 704,
+                summary_bytes: 0,
+                groups: 88,
+                output_hash: "0x00deadbeef015ca1".to_string(),
+                explore: ExploreCounters::default(),
+            },
+        ],
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_synthetic() {
+        let r = synthetic_report();
+        let text = r.render();
+        let back = BenchReport::parse(&text).unwrap();
+        assert_eq!(back, r);
+        assert_eq!(back.render(), text, "canonical serialization");
+    }
+
+    #[test]
+    fn parse_rejects_wrong_schema() {
+        let text = synthetic_report()
+            .render()
+            .replace(SCHEMA, "symple-bench/v0");
+        let err = BenchReport::parse(&text).unwrap_err();
+        assert!(err.contains("unsupported schema"), "{err}");
+    }
+
+    #[test]
+    fn parse_rejects_missing_fields() {
+        let text = synthetic_report()
+            .render()
+            .replace("\"summary_bytes\"", "\"summary_bytez\"");
+        let err = BenchReport::parse(&text).unwrap_err();
+        assert!(err.contains("summary_bytes"), "{err}");
+    }
+
+    #[test]
+    fn self_diff_is_clean() {
+        let r = synthetic_report();
+        let d = diff_reports(&r, &r, 10.0);
+        assert!(d.clean(), "{:?}", d.regressions);
+        assert_eq!(d.compared, 2);
+        assert!(d.notes.is_empty());
+    }
+
+    #[test]
+    fn slowdown_past_threshold_is_flagged() {
+        let base = synthetic_report();
+        let mut cur = base.clone();
+        cur.rows[0].wall_ms *= 1.25; // +25% > 10%
+        let d = diff_reports(&base, &cur, 10.0);
+        assert_eq!(d.regressions.len(), 1);
+        assert_eq!(d.regressions[0].metric, "wall_ms");
+        assert!(d.regressions[0].pct > 24.0);
+        // Below threshold passes.
+        let mut ok = base.clone();
+        ok.rows[0].wall_ms *= 1.05;
+        assert!(diff_reports(&base, &ok, 10.0).clean());
+    }
+
+    #[test]
+    fn output_hash_change_is_always_fatal() {
+        let base = synthetic_report();
+        let mut cur = base.clone();
+        cur.rows[1].output_hash = "0x0000000000000bad".to_string();
+        let d = diff_reports(&base, &cur, 1_000.0);
+        assert_eq!(d.regressions.len(), 1);
+        assert_eq!(d.regressions[0].metric, "output_hash");
+    }
+
+    #[test]
+    fn unmatched_rows_become_notes() {
+        let base = synthetic_report();
+        let mut cur = base.clone();
+        cur.rows.remove(1);
+        cur.rows[0].segments = 16; // now also unmatched on the other side
+        let d = diff_reports(&base, &cur, 10.0);
+        assert!(d.clean());
+        assert_eq!(d.compared, 0);
+        assert_eq!(d.notes.len(), 3, "{:?}", d.notes);
+    }
+
+    #[test]
+    fn byte_growth_is_flagged() {
+        let base = synthetic_report();
+        let mut cur = base.clone();
+        cur.rows[0].summary_bytes *= 2;
+        let d = diff_reports(&base, &cur, 10.0);
+        assert_eq!(d.regressions[0].metric, "summary_bytes");
+    }
+}

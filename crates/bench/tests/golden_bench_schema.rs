@@ -1,0 +1,68 @@
+//! Golden-file test for the `BENCH_*.json` schema: the exact rendering of
+//! a fixed synthetic report is checked in under
+//! `tests/golden/bench_schema.json`.
+//!
+//! The report format is a compatibility surface — `--baseline` diffs a
+//! report written by one build against a report written by another — so
+//! schema changes must be loud and deliberate. If a change is intentional,
+//! bump `report::SCHEMA`, regenerate with:
+//!
+//! ```text
+//! REGEN_GOLDEN=1 cargo test -p symple-bench --test golden_bench_schema
+//! ```
+//!
+//! and commit the updated golden file alongside the change (the same flow
+//! as `symple-core`'s `golden_wire` test).
+
+use symple_bench::report::{diff_reports, synthetic_report, BenchReport, SCHEMA};
+
+const GOLDEN: &str = include_str!("golden/bench_schema.json");
+
+fn golden_path() -> String {
+    format!(
+        "{}/tests/golden/bench_schema.json",
+        env!("CARGO_MANIFEST_DIR")
+    )
+}
+
+#[test]
+fn golden_bench_schema() {
+    let report = synthetic_report();
+    let rendered = report.render();
+
+    if std::env::var_os("REGEN_GOLDEN").is_some() {
+        std::fs::write(golden_path(), &rendered).unwrap();
+        return;
+    }
+
+    assert_eq!(
+        rendered, GOLDEN,
+        "BENCH report serialization changed — if intentional, bump \
+         report::SCHEMA, regenerate with REGEN_GOLDEN=1, and commit the new \
+         golden file"
+    );
+
+    // The golden bytes parse, match the source report, and re-render
+    // canonically — so reports survive a write → read → write cycle.
+    let parsed = BenchReport::parse(GOLDEN).unwrap();
+    assert_eq!(parsed, report, "golden file decodes to a different report");
+    assert_eq!(parsed.render(), GOLDEN, "re-rendering not canonical");
+    assert_eq!(parsed.schema, SCHEMA);
+
+    // A parsed golden report self-diffs clean — the acceptance invariant
+    // `--baseline FILE FILE` relies on.
+    let diff = diff_reports(&parsed, &parsed, 0.0);
+    assert!(diff.clean(), "{:?}", diff.regressions);
+    assert_eq!(diff.compared, parsed.rows.len() as u64);
+}
+
+#[test]
+fn golden_file_declares_current_schema_version() {
+    // Belt-and-braces: the checked-in artifact itself names the version,
+    // so a schema bump without regeneration fails even if rendering is
+    // otherwise untouched.
+    assert!(
+        GOLDEN.contains(&format!("\"schema\": \"{SCHEMA}\"")),
+        "golden file does not declare schema {SCHEMA}"
+    );
+}

@@ -36,6 +36,7 @@ where
     };
 
     // Map phase: groupby + field projection; events encoded for shuffle.
+    let map_span = symple_obs::span("baseline.map_phase");
     type MapOut<K> = Vec<(K, Vec<u8>)>;
     let (mapper_outputs, map_timing): (Vec<MapOut<G::Key>>, _) =
         run_tasks(segments.iter().collect(), cfg.map_workers, |_, seg| {
@@ -45,6 +46,7 @@ where
                 .map(|(k, events)| (k, events.to_wire()))
                 .collect()
         });
+    drop(map_span);
     metrics.map_cpu = map_timing.cpu;
     metrics.map_wall = map_timing.wall;
     metrics.map_max_task = map_timing.max_task;
@@ -56,8 +58,11 @@ where
             metrics.shuffle_records += 1;
         }
     }
+    symple_obs::counter_add("shuffle.bytes", metrics.shuffle_bytes);
+    symple_obs::counter_add("shuffle.records", metrics.shuffle_records);
 
     // Reduce phase: decode, stitch in mapper order, run the UDA.
+    let reduce_span = symple_obs::span("baseline.reduce_phase");
     let reducer_inputs = partition_to_reducers(mapper_outputs, cfg.num_reducers);
     let (reduce_results, reduce_timing) =
         run_tasks(reducer_inputs, cfg.reduce_workers, |_, input| {
@@ -74,6 +79,7 @@ where
             }
             Ok::<_, Error>(out)
         });
+    drop(reduce_span);
     metrics.reduce_cpu = reduce_timing.cpu;
     metrics.reduce_wall = reduce_timing.wall;
     metrics.reduce_max_task = reduce_timing.max_task;

@@ -38,6 +38,7 @@ where
     U2: Uda<Event = G2::Event>,
     U2::Output: Send,
 {
+    let _span = symple_obs::span("chain.two_stage");
     let first = run_symple(g1, u1, segments, cfg)?;
     // Stage 1's rows are already globally ordered by key; re-segment them
     // for stage 2's mappers. Each row is charged its stage-1 key size as
@@ -50,7 +51,14 @@ where
 }
 
 /// Combines per-stage metrics into an end-to-end view.
-fn fold_metrics(first: JobMetrics, second: JobMetrics) -> JobMetrics {
+///
+/// Additivity contract (property-tested in `tests/mapreduce_props.rs`):
+/// every volume/time field is the exact sum of the two stages' fields —
+/// each stage folded in exactly once, never double counted — except
+/// `input_records`/`input_bytes` (stage 1's raw input is the job's input;
+/// stage 2 reads intermediate rows), `groups` (the final stage defines the
+/// output groups), and the `max_task`/`max_live_paths` bounds (maxima).
+pub fn fold_metrics(first: JobMetrics, second: JobMetrics) -> JobMetrics {
     JobMetrics {
         input_records: first.input_records,
         input_bytes: first.input_bytes,
@@ -60,6 +68,7 @@ fn fold_metrics(first: JobMetrics, second: JobMetrics) -> JobMetrics {
         reduce_max_task: first.reduce_max_task.max(second.reduce_max_task),
         shuffle_bytes: first.shuffle_bytes + second.shuffle_bytes,
         shuffle_records: first.shuffle_records + second.shuffle_records,
+        summary_bytes: first.summary_bytes + second.summary_bytes,
         reduce_wall: first.reduce_wall + second.reduce_wall,
         reduce_cpu: first.reduce_cpu + second.reduce_cpu,
         groups: second.groups,

@@ -80,7 +80,7 @@ pub mod streaming;
 pub mod symple_job;
 
 pub use baseline::{run_baseline, run_baseline_sorted};
-pub use chain::run_two_stage;
+pub use chain::{fold_metrics, run_two_stage};
 pub use fault::{
     probe_fault_determinism, run_symple_with_faults, FaultInjector, FaultPlan, FaultProbe,
 };

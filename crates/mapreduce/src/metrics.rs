@@ -28,6 +28,10 @@ pub struct JobMetrics {
     pub shuffle_bytes: u64,
     /// Shuffle records (one per (key, mapper) pair that emitted data).
     pub shuffle_records: u64,
+    /// Encoded summary-chain payload bytes crossing the shuffle — the
+    /// paper's "compactness" axis. Zero for the baseline backends, whose
+    /// payloads are event lists rather than symbolic summaries.
+    pub summary_bytes: u64,
     /// Wall-clock duration of the reduce phase (parallel).
     pub reduce_wall: Duration,
     /// Summed busy time of all reduce tasks.

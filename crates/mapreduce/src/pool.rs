@@ -32,11 +32,14 @@ where
     R: Send,
     F: Fn(usize, T) -> R + Sync,
 {
+    let _span = symple_obs::span("pool.run_tasks");
     let n = items.len();
     let host = std::thread::available_parallelism()
         .map(|p| p.get())
         .unwrap_or(1);
     let workers = workers.clamp(1, n.max(1)).min(host);
+    symple_obs::counter_add("pool.tasks", n as u64);
+    symple_obs::gauge_set("pool.workers", workers as i64);
     let wall_start = Instant::now();
     let slots: Vec<Mutex<Option<T>>> = items.into_iter().map(|t| Mutex::new(Some(t))).collect();
     let results: Vec<Mutex<Option<R>>> = (0..n).map(|_| Mutex::new(None)).collect();

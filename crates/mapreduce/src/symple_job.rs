@@ -54,6 +54,7 @@ where
     U: Uda<Event = G::Event>,
     U::Output: Send,
 {
+    let _job_span = symple_obs::span("symple.job");
     let mut metrics = JobMetrics {
         input_records: segments.iter().map(|s| s.len() as u64).sum(),
         input_bytes: segments.iter().map(|s| s.raw_bytes).sum(),
@@ -63,8 +64,10 @@ where
     // Map phase: groupby + symbolic aggregation per key. A task whose
     // attempt "fails" (fault injection standing in for a crashed node) is
     // simply re-executed — safe because tasks are deterministic.
+    let map_span = symple_obs::span("symple.map_phase");
     let (mapper_results, map_timing) =
         run_tasks(segments.iter().collect(), cfg.map_workers, |_, seg| {
+            let _task_span = symple_obs::span("symple.map_task");
             let mut attempt = 0u32;
             loop {
                 attempt += 1;
@@ -77,6 +80,7 @@ where
                 break result;
             }
         });
+    drop(map_span);
     metrics.map_cpu = map_timing.cpu;
     metrics.map_wall = map_timing.wall;
     metrics.map_max_task = map_timing.max_task;
@@ -92,10 +96,15 @@ where
         for (k, payload) in out {
             metrics.shuffle_bytes += (k.wire_len() + payload.len()) as u64;
             metrics.shuffle_records += 1;
+            metrics.summary_bytes += payload.len() as u64;
         }
     }
+    symple_obs::counter_add("shuffle.bytes", metrics.shuffle_bytes);
+    symple_obs::counter_add("shuffle.records", metrics.shuffle_records);
+    symple_obs::counter_add("summary.bytes", metrics.summary_bytes);
 
     // Reduce phase: decode chains, apply in mapper order, extract results.
+    let reduce_span = symple_obs::span("symple.reduce_phase");
     let template = uda.init();
     let reducer_inputs = partition_to_reducers(mapper_outputs, cfg.num_reducers);
     let (reduce_results, reduce_timing) =
@@ -133,6 +142,7 @@ where
             }
             Ok::<_, Error>(out)
         });
+    drop(reduce_span);
     metrics.reduce_cpu = reduce_timing.cpu;
     metrics.reduce_wall = reduce_timing.wall;
     metrics.reduce_max_task = reduce_timing.max_task;

@@ -1,0 +1,67 @@
+//! Typed counters and gauges behind a global registry.
+//!
+//! * A **counter** is a monotonically increasing `u64` — bytes shuffled,
+//!   paths merged, chunks explored.
+//! * A **gauge** is a last-write-wins `i64` — workers in a pool, live
+//!   paths at a checkpoint.
+//!
+//! Both are keyed by `&'static str` names (dotted, e.g. `"shuffle.bytes"`)
+//! and are no-ops while the layer is disabled, so instrumented hot paths
+//! pay one relaxed atomic load when tracing is off.
+
+use std::collections::BTreeMap;
+use std::sync::Mutex;
+
+use crate::enabled;
+
+static COUNTERS: Mutex<BTreeMap<&'static str, u64>> = Mutex::new(BTreeMap::new());
+static GAUGES: Mutex<BTreeMap<&'static str, i64>> = Mutex::new(BTreeMap::new());
+
+/// Adds `delta` to the named counter (no-op while disabled).
+pub fn counter_add(name: &'static str, delta: u64) {
+    if !enabled() {
+        return;
+    }
+    *COUNTERS.lock().unwrap().entry(name).or_insert(0) += delta;
+}
+
+/// Sets the named gauge to `value` (no-op while disabled).
+pub fn gauge_set(name: &'static str, value: i64) {
+    if !enabled() {
+        return;
+    }
+    GAUGES.lock().unwrap().insert(name, value);
+}
+
+/// Current value of a counter (0 when never touched).
+pub fn counter_value(name: &str) -> u64 {
+    COUNTERS.lock().unwrap().get(name).copied().unwrap_or(0)
+}
+
+/// Current value of a gauge, if ever set.
+pub fn gauge_value(name: &str) -> Option<i64> {
+    GAUGES.lock().unwrap().get(name).copied()
+}
+
+pub(crate) fn snapshot_counters() -> Vec<(String, u64)> {
+    COUNTERS
+        .lock()
+        .unwrap()
+        .iter()
+        .map(|(k, v)| (k.to_string(), *v))
+        .collect()
+}
+
+pub(crate) fn snapshot_gauges() -> Vec<(String, i64)> {
+    GAUGES
+        .lock()
+        .unwrap()
+        .iter()
+        .map(|(k, v)| (k.to_string(), *v))
+        .collect()
+}
+
+pub(crate) fn reset() {
+    COUNTERS.lock().unwrap().clear();
+    GAUGES.lock().unwrap().clear();
+}

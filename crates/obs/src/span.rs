@@ -1,0 +1,113 @@
+//! Scoped spans with monotonic timing.
+//!
+//! A span measures the wall time between [`crate::span`] and the drop of
+//! the returned [`SpanGuard`]. Spans nest lexically: each thread keeps a
+//! stack of open frames, a closing span charges its elapsed time to the
+//! enclosing frame's child accumulator, and the per-name aggregate records
+//! both *cumulative* time (the whole span, children included) and *self*
+//! time (cumulative minus time spent in nested spans).
+//!
+//! The guard is a zero-sized type: all bookkeeping lives in a thread-local
+//! stack, so a disabled span costs one relaxed atomic load and nothing
+//! else — no allocation, no branch on drop beyond an empty-stack check.
+//!
+//! Toggling [`crate::set_enabled`] while spans are open is permitted but
+//! attribution for the spans open at the toggle is best-effort (a guard
+//! created while disabled never pushed a frame, so its drop is a no-op
+//! against whatever the stack then holds).
+
+use std::collections::BTreeMap;
+use std::sync::Mutex;
+use std::time::Instant;
+
+use crate::enabled;
+
+/// Aggregated timings for one span name.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SpanStats {
+    /// Number of completed spans with this name.
+    pub count: u64,
+    /// Total wall nanoseconds, nested child spans included. (A recursive
+    /// span counts its inner activations again; document, don't subtract.)
+    pub cum_ns: u64,
+    /// Total wall nanoseconds minus time spent in nested spans.
+    pub self_ns: u64,
+}
+
+/// One open span on the current thread.
+struct Frame {
+    name: &'static str,
+    start: Instant,
+    /// Nanoseconds consumed by already-closed direct children.
+    child_ns: u64,
+}
+
+thread_local! {
+    static STACK: std::cell::RefCell<Vec<Frame>> = const { std::cell::RefCell::new(Vec::new()) };
+}
+
+/// Global per-name aggregates. A `Mutex<BTreeMap>` is deliberate: spans
+/// close at task granularity (chunks, phases, cases), not per record, so
+/// lock traffic is negligible and iteration order is stable for reports.
+static REGISTRY: Mutex<BTreeMap<&'static str, SpanStats>> = Mutex::new(BTreeMap::new());
+
+/// RAII guard closing a span on drop. Zero-sized — see the module docs.
+#[must_use = "a span measures until the guard is dropped"]
+pub struct SpanGuard {
+    // Intentionally empty: the frame lives in the thread-local stack.
+    _not_send: std::marker::PhantomData<*const ()>,
+}
+
+/// Opens a span; the returned guard closes it when dropped.
+pub(crate) fn enter(name: &'static str) -> SpanGuard {
+    if enabled() {
+        STACK.with(|s| {
+            s.borrow_mut().push(Frame {
+                name,
+                start: Instant::now(),
+                child_ns: 0,
+            });
+        });
+    }
+    SpanGuard {
+        _not_send: std::marker::PhantomData,
+    }
+}
+
+impl Drop for SpanGuard {
+    fn drop(&mut self) {
+        STACK.with(|s| {
+            let mut stack = s.borrow_mut();
+            let Some(frame) = stack.pop() else {
+                return; // Created while disabled: nothing to close.
+            };
+            let cum_ns = frame.start.elapsed().as_nanos() as u64;
+            let self_ns = cum_ns.saturating_sub(frame.child_ns);
+            if let Some(parent) = stack.last_mut() {
+                parent.child_ns += cum_ns;
+            }
+            drop(stack);
+            let mut reg = REGISTRY.lock().unwrap();
+            let agg = reg.entry(frame.name).or_default();
+            agg.count += 1;
+            agg.cum_ns += cum_ns;
+            agg.self_ns += self_ns;
+        });
+    }
+}
+
+/// Snapshot of every span aggregate, sorted by name.
+pub(crate) fn snapshot() -> Vec<(String, SpanStats)> {
+    REGISTRY
+        .lock()
+        .unwrap()
+        .iter()
+        .map(|(k, v)| (k.to_string(), *v))
+        .collect()
+}
+
+/// Clears all span aggregates (open frames on other threads are kept and
+/// will re-populate the registry when they close).
+pub(crate) fn reset() {
+    REGISTRY.lock().unwrap().clear();
+}

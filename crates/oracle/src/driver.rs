@@ -138,6 +138,7 @@ fn probe_cells(matrix: &[Cell]) -> (Vec<Cell>, Vec<Cell>) {
 
 /// Runs the sweep. Deterministic: same options → same report.
 pub fn run_oracle(opts: &OracleOptions) -> OracleReport {
+    let _sweep_span = symple_obs::span("oracle.sweep");
     let mut report = OracleReport::default();
     let matrix = match opts.depth {
         Depth::Smoke => smoke_matrix(),
@@ -151,6 +152,8 @@ pub fn run_oracle(opts: &OracleOptions) -> OracleReport {
                 continue;
             }
         }
+        let _case_span = symple_obs::span("oracle.case");
+        symple_obs::counter_add("oracle.cases", 1);
         let mut rng = Rng64::seed_from_u64(opts.seed ^ fnv1a(case.id()));
         let mut case_findings = 0usize;
 
@@ -220,6 +223,9 @@ pub fn run_oracle(opts: &OracleOptions) -> OracleReport {
             }
         }
     }
+    symple_obs::counter_add("oracle.comparisons", report.comparisons);
+    symple_obs::counter_add("oracle.probes", report.probes);
+    symple_obs::counter_add("oracle.findings", report.findings.len() as u64);
     // Distinct matrix cells often shrink to the same minimal reproducer;
     // keep one finding per artifact.
     let mut seen: Vec<Artifact> = Vec::new();

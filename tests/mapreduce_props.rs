@@ -2,13 +2,17 @@
 //! streams and key distributions through every backend must agree, with
 //! order preserved per key however the shuffle slices it.
 
+use std::time::Duration;
+
 use proptest::prelude::*;
 
+use symple::core::engine::ExploreStats;
 use symple::core::prelude::*;
+use symple::mapreduce::pool::run_tasks;
 use symple::mapreduce::segment::split_into_segments;
 use symple::mapreduce::{
-    run_baseline, run_baseline_sorted, run_sequential_job, run_symple, run_symple_streaming,
-    GroupBy, JobConfig,
+    fold_metrics, run_baseline, run_baseline_sorted, run_sequential_job, run_symple,
+    run_symple_streaming, GroupBy, JobConfig, JobMetrics,
 };
 
 /// Records are `(key, value)` pairs; order within a key is load-bearing.
@@ -126,5 +130,107 @@ proptest! {
         let streaming = run_symple_streaming(&ByKey, &Turns, &segs, &cfg).unwrap();
         prop_assert_eq!(sym.metrics.shuffle_bytes, streaming.metrics.shuffle_bytes);
         prop_assert_eq!(sym.metrics.shuffle_records, streaming.metrics.shuffle_records);
+    }
+
+    /// `pool::run_tasks` returns results in input order, byte-identical
+    /// across worker counts, with sane timing invariants.
+    #[test]
+    fn pool_results_independent_of_worker_count(
+        items in prop::collection::vec(-1_000i64..1_000, 0..120),
+    ) {
+        // A deterministic, input-dependent task so scheduling bugs (lost,
+        // duplicated, or reordered tasks) change the output bytes.
+        let task = |i: usize, x: i64| -> (usize, i64) {
+            (i, x.wrapping_mul(31).wrapping_add(i as i64))
+        };
+        let (one, t1) = run_tasks(items.clone(), 1, task);
+        for workers in [2usize, 8] {
+            let (out, t) = run_tasks(items.clone(), workers, task);
+            prop_assert_eq!(&out, &one, "workers={}", workers);
+            prop_assert!(t.cpu >= t.max_task, "workers={}: cpu < max_task", workers);
+        }
+        prop_assert!(t1.cpu >= t1.max_task);
+        for (i, (idx, _)) in one.iter().enumerate() {
+            prop_assert_eq!(*idx, i, "result slot {} holds task {}", i, idx);
+        }
+    }
+}
+
+// ------------------------------------------------------- metric folding
+
+/// A fully synthetic [`JobMetrics`] from 18 generated raw values, so the
+/// additivity property exercises every field without wall clocks.
+fn metrics_from(raw: &[u64]) -> JobMetrics {
+    let ms = |v: u64| Duration::from_millis(v);
+    JobMetrics {
+        input_records: raw[0],
+        input_bytes: raw[1],
+        map_wall: ms(raw[2]),
+        map_cpu: ms(raw[3]),
+        map_max_task: ms(raw[4]),
+        reduce_max_task: ms(raw[5]),
+        shuffle_bytes: raw[6],
+        shuffle_records: raw[7],
+        summary_bytes: raw[8],
+        reduce_wall: ms(raw[9]),
+        reduce_cpu: ms(raw[10]),
+        groups: raw[11],
+        explore: ExploreStats {
+            records: raw[12],
+            runs: raw[13],
+            forks: raw[14],
+            merges: raw[15],
+            restarts: raw[16],
+            max_live_paths: raw[17] as usize,
+        },
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// `fold_metrics` is exactly additive: each stage's volumes and times
+    /// are counted once — never dropped, never double counted.
+    #[test]
+    fn fold_metrics_is_additive(
+        a_raw in prop::collection::vec(0u64..1_000_000, 18..19),
+        b_raw in prop::collection::vec(0u64..1_000_000, 18..19),
+        c_raw in prop::collection::vec(0u64..1_000_000, 18..19),
+    ) {
+        let (a, b) = (metrics_from(&a_raw), metrics_from(&b_raw));
+        let f = fold_metrics(a, b);
+        // Summed fields.
+        prop_assert_eq!(f.map_wall, a.map_wall + b.map_wall);
+        prop_assert_eq!(f.map_cpu, a.map_cpu + b.map_cpu);
+        prop_assert_eq!(f.reduce_wall, a.reduce_wall + b.reduce_wall);
+        prop_assert_eq!(f.reduce_cpu, a.reduce_cpu + b.reduce_cpu);
+        prop_assert_eq!(f.shuffle_bytes, a.shuffle_bytes + b.shuffle_bytes);
+        prop_assert_eq!(f.shuffle_records, a.shuffle_records + b.shuffle_records);
+        prop_assert_eq!(f.summary_bytes, a.summary_bytes + b.summary_bytes);
+        prop_assert_eq!(f.explore.records, a.explore.records + b.explore.records);
+        prop_assert_eq!(f.explore.runs, a.explore.runs + b.explore.runs);
+        prop_assert_eq!(f.explore.forks, a.explore.forks + b.explore.forks);
+        prop_assert_eq!(f.explore.merges, a.explore.merges + b.explore.merges);
+        prop_assert_eq!(f.explore.restarts, a.explore.restarts + b.explore.restarts);
+        // Stage-1-owned, stage-2-owned, and bounding fields.
+        prop_assert_eq!(f.input_records, a.input_records);
+        prop_assert_eq!(f.input_bytes, a.input_bytes);
+        prop_assert_eq!(f.groups, b.groups);
+        prop_assert_eq!(f.map_max_task, a.map_max_task.max(b.map_max_task));
+        prop_assert_eq!(f.reduce_max_task, a.reduce_max_task.max(b.reduce_max_task));
+        prop_assert_eq!(
+            f.explore.max_live_paths,
+            a.explore.max_live_paths.max(b.explore.max_live_paths)
+        );
+        // Folding in an idle stage changes nothing additive, and the fold
+        // is associative — longer plan chains count each stage once too.
+        let idle = fold_metrics(a, JobMetrics::default());
+        prop_assert_eq!(idle.total_cpu(), a.total_cpu());
+        prop_assert_eq!(idle.shuffle_bytes, a.shuffle_bytes);
+        let c = metrics_from(&c_raw);
+        prop_assert_eq!(
+            format!("{:?}", fold_metrics(fold_metrics(a, b), c)),
+            format!("{:?}", fold_metrics(a, fold_metrics(b, c)))
+        );
     }
 }
