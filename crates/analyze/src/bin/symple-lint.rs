@@ -1,0 +1,93 @@
+//! Static UDA lint CLI.
+//!
+//! ```text
+//! symple-lint                    # human-readable sweep of the 12 paper queries
+//! symple-lint --json             # machine-readable report (schema symple-lint/v1)
+//! symple-lint --query G4         # one query (F1 and R1c..R4c also accepted)
+//! symple-lint --list-codes       # the SY code table
+//! ```
+//!
+//! Exit codes: `0` no error-severity findings, `1` at least one error
+//! finding, `2` usage error.
+
+use std::process::ExitCode;
+
+use symple_analyze::{
+    lint_query_by_id, lint_registry, render_codes, render_human, render_json, totals,
+};
+
+const USAGE: &str = "\
+symple-lint: static diagnostics for SYMPLE UDAs (abstract interpretation)
+
+USAGE:
+    symple-lint [OPTIONS]           lint the query registry
+
+OPTIONS:
+    --json           emit the machine-readable report (schema symple-lint/v1)
+    --query <ID>     lint a single query (G1..G4, B1..B3, T1, F1, R1..R4, R1c..R4c)
+    --list-codes     print the SY diagnostic code table and exit
+    --help           this text
+
+EXIT CODES:
+    0  no error-severity findings
+    1  at least one error-severity finding
+    2  usage error";
+
+fn usage_error(msg: &str) -> ExitCode {
+    eprintln!("error: {msg}\n\n{USAGE}");
+    ExitCode::from(2)
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.iter().any(|a| a == "--help" || a == "-h") {
+        println!("{USAGE}");
+        return ExitCode::SUCCESS;
+    }
+
+    let mut as_json = false;
+    let mut query: Option<String> = None;
+    let mut list_codes = false;
+
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--json" => as_json = true,
+            "--list-codes" => list_codes = true,
+            "--query" => {
+                i += 1;
+                match args.get(i) {
+                    Some(q) => query = Some(q.clone()),
+                    None => return usage_error("--query needs an id"),
+                }
+            }
+            other => return usage_error(&format!("unknown argument {other:?}")),
+        }
+        i += 1;
+    }
+
+    if list_codes {
+        print!("{}", render_codes());
+        return ExitCode::SUCCESS;
+    }
+
+    let lints = match &query {
+        Some(id) => match lint_query_by_id(id) {
+            Some(l) => vec![l],
+            None => return usage_error(&format!("unknown query {id:?}")),
+        },
+        None => lint_registry(),
+    };
+
+    if as_json {
+        print!("{}", render_json(&lints));
+    } else {
+        print!("{}", render_human(&lints));
+    }
+
+    if totals(&lints).errors > 0 {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}

@@ -15,6 +15,7 @@
 //! direct encoding.
 
 use crate::error::Error;
+use crate::state::FieldId;
 
 /// A mixed-radix choice vector: one digit (with its arity) per branch at
 /// which more than one outcome was feasible.
@@ -79,6 +80,38 @@ enum Mode {
     Symbolic,
     /// All state must be concrete; an attempted fork is an error.
     Concrete,
+    /// Like [`Mode::Symbolic`], but additionally records every symbolic
+    /// operation in a footprint for the static analyzer.
+    Analysis,
+}
+
+/// The class of a symbolic operation recorded in an analysis footprint.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum OpKind {
+    /// A comparison or set-membership test that steers control flow.
+    Guard,
+    /// An arithmetic update (`add`, `mul`, …) on a symbolic scalar.
+    Arith,
+    /// An opaque-predicate evaluation ([`crate::SymPred::eval`]).
+    PredEval,
+}
+
+/// One symbolic operation observed during an analysis-mode run.
+///
+/// The analyzer replays a UDA's `update` from an all-symbolic "top" state
+/// and aggregates these records into per-query facts: which fields steer
+/// control flow (guard liveness), how often predicates widen their decision
+/// windows, and where arithmetic touches symbolic values.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FootprintOp {
+    /// What class of operation ran.
+    pub kind: OpKind,
+    /// The field the operation read or wrote, when the type knows it.
+    pub field: Option<FieldId>,
+    /// The operation's name (`"lt"`, `"add"`, `"eval"`, …).
+    pub op: &'static str,
+    /// Whether the operation forked the path (consumed a choice digit).
+    pub forked: bool,
 }
 
 /// Per-run execution context threaded through every branching operation of
@@ -89,14 +122,18 @@ enum Mode {
 /// (`sym_int.lt(ctx, 5)`), which keeps the engine a plain library with no
 /// global mutable state.
 ///
-/// A `SymCtx` is used in one of two modes:
+/// A `SymCtx` is used in one of three modes:
 ///
 /// * **symbolic** ([`SymCtx::symbolic`]) — branches with several feasible
 ///   outcomes consult the choice vector, appending new digits on first
 ///   visit;
 /// * **concrete** ([`SymCtx::concrete`]) — used for the sequential
 ///   reference execution and for `Result` extraction; forks are engine
-///   errors.
+///   errors;
+/// * **analysis** ([`SymCtx::analysis`]) — forks exactly like symbolic
+///   mode, but additionally records the symbolic-op footprint
+///   ([`FootprintOp`]) that the static analyzer in `crates/analyze` turns
+///   into lint diagnostics.
 ///
 /// Errors raised mid-`update` (overflow, explosion) are latched in the
 /// context because `Update` returns `()`; the executor checks
@@ -108,41 +145,81 @@ pub struct SymCtx {
     mode: Mode,
     error: Option<Error>,
     forks_taken: u64,
+    footprint: Vec<FootprintOp>,
 }
 
 impl SymCtx {
-    /// Creates a context for symbolic exploration starting from the empty
-    /// choice vector.
-    pub fn symbolic() -> SymCtx {
+    fn with_mode(mode: Mode) -> SymCtx {
         SymCtx {
             choices: ChoiceVector::new(),
             pos: 0,
-            mode: Mode::Symbolic,
+            mode,
             error: None,
             forks_taken: 0,
+            footprint: Vec::new(),
         }
+    }
+
+    /// Creates a context for symbolic exploration starting from the empty
+    /// choice vector.
+    pub fn symbolic() -> SymCtx {
+        SymCtx::with_mode(Mode::Symbolic)
     }
 
     /// Creates a concrete-mode context: every branch must be deterministic.
     pub fn concrete() -> SymCtx {
-        SymCtx {
-            choices: ChoiceVector::new(),
-            pos: 0,
-            mode: Mode::Concrete,
-            error: None,
-            forks_taken: 0,
-        }
+        SymCtx::with_mode(Mode::Concrete)
+    }
+
+    /// Creates an analysis-mode context: forks behave exactly as in
+    /// symbolic mode, and every symbolic operation the data types report
+    /// via [`SymCtx::note_op`] is recorded in a per-run footprint.
+    pub fn analysis() -> SymCtx {
+        SymCtx::with_mode(Mode::Analysis)
     }
 
     /// Whether this context permits symbolic forks.
     pub fn is_symbolic(&self) -> bool {
-        self.mode == Mode::Symbolic
+        matches!(self.mode, Mode::Symbolic | Mode::Analysis)
+    }
+
+    /// Whether this context records an analysis footprint.
+    pub fn is_analysis(&self) -> bool {
+        self.mode == Mode::Analysis
+    }
+
+    /// Records a symbolic operation in the analysis footprint.
+    ///
+    /// No-op outside analysis mode, so the symbolic data types can call
+    /// this unconditionally on their hot paths.
+    pub fn note_op(
+        &mut self,
+        kind: OpKind,
+        field: Option<FieldId>,
+        op: &'static str,
+        forked: bool,
+    ) {
+        if self.mode == Mode::Analysis {
+            self.footprint.push(FootprintOp {
+                kind,
+                field,
+                op,
+                forked,
+            });
+        }
+    }
+
+    /// Takes the footprint accumulated since the last `begin_run`
+    /// (analysis mode only; empty otherwise).
+    pub fn take_footprint(&mut self) -> Vec<FootprintOp> {
+        std::mem::take(&mut self.footprint)
     }
 
     /// Resets the cursor for the next run over the same (advanced) vector.
     pub(crate) fn begin_run(&mut self) {
         self.pos = 0;
         self.error = None;
+        self.footprint.clear();
     }
 
     /// Advances the choice vector to the next unexplored path.
@@ -304,6 +381,34 @@ mod tests {
         assert!(!ctx.has_error());
         // Replay returns the recorded digit.
         assert_eq!(ctx.choose(2), 0);
+    }
+
+    #[test]
+    fn analysis_mode_forks_and_records() {
+        let mut ctx = SymCtx::analysis();
+        assert!(ctx.is_symbolic());
+        assert!(ctx.is_analysis());
+        ctx.note_op(OpKind::Guard, Some(FieldId(1)), "lt", true);
+        assert_eq!(ctx.choose(2), 0, "analysis forks like symbolic mode");
+        assert!(!ctx.has_error());
+        let fp = ctx.take_footprint();
+        assert_eq!(fp.len(), 1);
+        assert_eq!(fp[0].field, Some(FieldId(1)));
+        assert_eq!(fp[0].op, "lt");
+        ctx.note_op(OpKind::Arith, None, "add", false);
+        ctx.begin_run();
+        assert!(
+            ctx.take_footprint().is_empty(),
+            "begin_run clears the footprint"
+        );
+    }
+
+    #[test]
+    fn non_analysis_modes_ignore_note_op() {
+        for mut ctx in [SymCtx::symbolic(), SymCtx::concrete()] {
+            ctx.note_op(OpKind::Arith, None, "add", false);
+            assert!(ctx.take_footprint().is_empty());
+        }
     }
 
     #[test]

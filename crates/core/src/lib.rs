@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 //! # symple-core
@@ -74,6 +75,7 @@
 //! assert_eq!(par, 10);
 //! ```
 
+pub mod analysis;
 pub mod bitset;
 pub mod compose;
 pub mod ctx;
@@ -88,14 +90,15 @@ pub mod uda;
 pub mod validate;
 pub mod wire;
 
+pub use analysis::{analyze_uda, FieldReport, UdaAnalysis, VariantAnalysis};
 pub use bitset::BitSet256;
 pub use compose::{apply_chain, apply_summary, compose_chain, compose_summaries};
-pub use ctx::{ChoiceVector, SymCtx};
+pub use ctx::{ChoiceVector, FootprintOp, OpKind, SymCtx};
 pub use engine::{EngineConfig, ExploreStats, MergePolicy, SymbolicExecutor};
 pub use error::{Error, Result};
 pub use interval::Interval;
 pub use rng::Rng64;
-pub use state::{FieldId, SymField, SymState};
+pub use state::{FieldFacts, FieldId, SymField, SymState};
 pub use summary::{Summary, SummaryChain};
 pub use types::{
     scalar::{ScalarTransfer, SymScalar},

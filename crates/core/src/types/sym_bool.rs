@@ -3,7 +3,7 @@
 
 use crate::ctx::SymCtx;
 use crate::error::Result;
-use crate::state::{downcast, FieldId, SymField};
+use crate::state::{downcast, FieldFacts, FieldId, SymField};
 use crate::types::scalar::ScalarTransfer;
 use crate::types::sym_enum::SymEnum;
 use crate::wire::WireError;
@@ -107,6 +107,22 @@ impl SymField for SymBool {
     }
     fn as_any(&self) -> &dyn std::any::Any {
         self
+    }
+    fn facts(&self) -> FieldFacts {
+        FieldFacts {
+            kind: "bool",
+            concrete: self.inner.is_concrete(),
+            ..FieldFacts::default()
+        }
+    }
+    fn perturb(&mut self) -> bool {
+        match self.concrete_value() {
+            Some(v) => {
+                self.assign(!v);
+                true
+            }
+            None => false,
+        }
     }
     fn describe(&self) -> String {
         self.inner.describe()

@@ -14,9 +14,9 @@
 //! across records.
 
 use crate::bitset::BitSet256;
-use crate::ctx::SymCtx;
+use crate::ctx::{OpKind, SymCtx};
 use crate::error::{Error, Result};
-use crate::state::{downcast, FieldId, SymField};
+use crate::state::{downcast, FieldFacts, FieldId, SymField};
 use crate::types::scalar::ScalarTransfer;
 use crate::wire::{self, WireError};
 
@@ -125,9 +125,16 @@ impl SymEnum {
         let then_set = self.set.intersect(&bit);
         let else_set = self.set.difference(&bit);
         match (then_set.is_empty(), else_set.is_empty()) {
-            (false, true) => true,
-            (true, false) => false,
+            (false, true) => {
+                ctx.note_op(OpKind::Guard, self.id, "eq", false);
+                true
+            }
+            (true, false) => {
+                ctx.note_op(OpKind::Guard, self.id, "eq", false);
+                false
+            }
             (false, false) => {
+                ctx.note_op(OpKind::Guard, self.id, "eq", true);
                 if ctx.choose(2) == 0 {
                     self.set = then_set;
                     true
@@ -180,6 +187,7 @@ impl SymEnum {
             !targets.is_empty(),
             "SymEnum transition with empty constraint"
         );
+        ctx.note_op(OpKind::Guard, self.id, "map_transition", targets.len() > 1);
         let pick = if targets.len() == 1 {
             0
         } else {
@@ -209,9 +217,16 @@ impl SymEnum {
         let then_set = self.set.intersect(&members);
         let else_set = self.set.difference(&members);
         match (then_set.is_empty(), else_set.is_empty()) {
-            (false, true) => true,
-            (true, false) => false,
+            (false, true) => {
+                ctx.note_op(OpKind::Guard, self.id, "in_set", false);
+                true
+            }
+            (true, false) => {
+                ctx.note_op(OpKind::Guard, self.id, "in_set", false);
+                false
+            }
             (false, false) => {
+                ctx.note_op(OpKind::Guard, self.id, "in_set", true);
                 if ctx.choose(2) == 0 {
                     self.set = then_set;
                     true
@@ -328,6 +343,24 @@ impl SymField for SymEnum {
 
     fn as_any(&self) -> &dyn std::any::Any {
         self
+    }
+
+    fn facts(&self) -> FieldFacts {
+        FieldFacts {
+            kind: "enum",
+            concrete: self.bound.is_some(),
+            ..FieldFacts::default()
+        }
+    }
+
+    fn perturb(&mut self) -> bool {
+        match self.bound {
+            Some(v) if self.domain > 1 => {
+                self.bound = Some((v + 1) % self.domain);
+                true
+            }
+            _ => false,
+        }
     }
 
     fn describe(&self) -> String {

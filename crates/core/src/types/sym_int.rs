@@ -15,9 +15,10 @@
 
 use std::ops::{AddAssign, MulAssign, SubAssign};
 
-use crate::ctx::SymCtx;
+use crate::ctx::{OpKind, SymCtx};
 use crate::error::{Error, Result};
 use crate::interval::Interval;
+use crate::state::FieldFacts;
 use crate::state::{downcast, FieldId, SymField};
 use crate::types::scalar::{mul_add_checked, ScalarTransfer, SymScalar};
 use crate::wire::{self, WireError};
@@ -184,6 +185,7 @@ impl SymInt {
     /// Checked addition of a constant; sets `ctx` error on overflow
     /// (of `i64`, or of the declared bit width).
     pub fn add(&mut self, ctx: &mut SymCtx, k: i64) {
+        ctx.note_op(OpKind::Arith, self.id, "add", false);
         match self.b.checked_add(k) {
             Some(b) => self.b = b,
             None => ctx.fail(Error::ArithmeticOverflow { op: "add" }),
@@ -193,6 +195,7 @@ impl SymInt {
 
     /// Checked subtraction of a constant; sets `ctx` error on overflow.
     pub fn sub(&mut self, ctx: &mut SymCtx, k: i64) {
+        ctx.note_op(OpKind::Arith, self.id, "sub", false);
         match self.b.checked_sub(k) {
             Some(b) => self.b = b,
             None => ctx.fail(Error::ArithmeticOverflow { op: "sub" }),
@@ -202,6 +205,7 @@ impl SymInt {
 
     /// Checked multiplication by a constant; sets `ctx` error on overflow.
     pub fn mul(&mut self, ctx: &mut SymCtx, k: i64) {
+        ctx.note_op(OpKind::Arith, self.id, "mul", false);
         match (self.a.checked_mul(k), self.b.checked_mul(k)) {
             (Some(a), Some(b)) => {
                 self.a = a;
@@ -215,6 +219,7 @@ impl SymInt {
     /// Replaces the value with `k − value` (e.g. a time difference against
     /// a concrete record timestamp); sets `ctx` error on overflow.
     pub fn rsub(&mut self, ctx: &mut SymCtx, k: i64) {
+        ctx.note_op(OpKind::Arith, self.id, "rsub", false);
         match (self.a.checked_neg(), k.checked_sub(self.b)) {
             (Some(a), Some(b)) => {
                 self.a = a;
@@ -231,7 +236,7 @@ impl SymInt {
             return self.b < c;
         }
         let (t, e) = self.constraint.split_lt(self.a, self.b, c);
-        self.binary_branch(ctx, t, e)
+        self.binary_branch(ctx, t, e, "lt")
     }
 
     /// `value ≤ c`, forking if both outcomes are feasible.
@@ -240,7 +245,7 @@ impl SymInt {
             return self.b <= c;
         }
         let (t, e) = self.constraint.split_le(self.a, self.b, c);
-        self.binary_branch(ctx, t, e)
+        self.binary_branch(ctx, t, e, "le")
     }
 
     /// `value > c`, forking if both outcomes are feasible.
@@ -249,7 +254,7 @@ impl SymInt {
             return self.b > c;
         }
         let (le_side, gt_side) = self.constraint.split_le(self.a, self.b, c);
-        self.binary_branch(ctx, gt_side, le_side)
+        self.binary_branch(ctx, gt_side, le_side, "gt")
     }
 
     /// `value ≥ c`, forking if both outcomes are feasible.
@@ -258,7 +263,7 @@ impl SymInt {
             return self.b >= c;
         }
         let (lt_side, ge_side) = self.constraint.split_lt(self.a, self.b, c);
-        self.binary_branch(ctx, ge_side, lt_side)
+        self.binary_branch(ctx, ge_side, lt_side, "ge")
     }
 
     /// `value == c`.
@@ -272,7 +277,7 @@ impl SymInt {
         }
         let (eq, below, above) = self.constraint.split_eq(self.a, self.b, c);
         // Outcome order: the `true` side first, then the residuals.
-        self.multi_branch(ctx, &[(eq, true), (below, false), (above, false)])
+        self.multi_branch(ctx, &[(eq, true), (below, false), (above, false)], "eq")
     }
 
     /// `value != c`; the complement of [`SymInt::eq_c`] with the same
@@ -282,7 +287,7 @@ impl SymInt {
             return self.b != c;
         }
         let (eq, below, above) = self.constraint.split_eq(self.a, self.b, c);
-        self.multi_branch(ctx, &[(below, true), (above, true), (eq, false)])
+        self.multi_branch(ctx, &[(below, true), (above, true), (eq, false)], "ne")
     }
 
     /// Resolves a binary branch: narrows the constraint to the chosen
@@ -292,11 +297,19 @@ impl SymInt {
         ctx: &mut SymCtx,
         true_side: Interval,
         false_side: Interval,
+        op: &'static str,
     ) -> bool {
         match (true_side.is_empty(), false_side.is_empty()) {
-            (false, true) => true,
-            (true, false) => false,
+            (false, true) => {
+                ctx.note_op(OpKind::Guard, self.id, op, false);
+                true
+            }
+            (true, false) => {
+                ctx.note_op(OpKind::Guard, self.id, op, false);
+                false
+            }
             (false, false) => {
+                ctx.note_op(OpKind::Guard, self.id, op, true);
                 if ctx.choose(2) == 0 {
                     self.constraint = true_side;
                     true
@@ -315,7 +328,12 @@ impl SymInt {
     }
 
     /// Resolves a branch with up to three feasible outcomes.
-    fn multi_branch(&mut self, ctx: &mut SymCtx, outcomes: &[(Interval, bool)]) -> bool {
+    fn multi_branch(
+        &mut self,
+        ctx: &mut SymCtx,
+        outcomes: &[(Interval, bool)],
+        op: &'static str,
+    ) -> bool {
         let feasible: Vec<&(Interval, bool)> =
             outcomes.iter().filter(|(i, _)| !i.is_empty()).collect();
         match feasible.len() {
@@ -324,11 +342,13 @@ impl SymInt {
                 false
             }
             1 => {
+                ctx.note_op(OpKind::Guard, self.id, op, false);
                 let (iv, out) = *feasible[0];
                 self.constraint = iv;
                 out
             }
             n => {
+                ctx.note_op(OpKind::Guard, self.id, op, true);
                 let pick = ctx.choose(n as u8) as usize;
                 let (iv, out) = *feasible[pick];
                 self.constraint = iv;
@@ -478,6 +498,28 @@ impl SymField for SymInt {
 
     fn as_any(&self) -> &dyn std::any::Any {
         self
+    }
+
+    fn facts(&self) -> FieldFacts {
+        FieldFacts {
+            kind: "int",
+            concrete: self.a == 0,
+            affine: Some((self.a, self.b)),
+            width: Some(self.width),
+            ..FieldFacts::default()
+        }
+    }
+
+    fn perturb(&mut self) -> bool {
+        // Nudge the offset without leaving the declared width.
+        if self.width >= 64 {
+            self.b = self.b.wrapping_add(1);
+        } else if self.b < self.width_range().ub {
+            self.b += 1;
+        } else {
+            self.b -= 1;
+        }
+        true
     }
 
     fn describe(&self) -> String {

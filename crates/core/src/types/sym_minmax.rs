@@ -21,10 +21,10 @@
 
 use std::cmp::Ordering;
 
-use crate::ctx::SymCtx;
+use crate::ctx::{OpKind, SymCtx};
 use crate::error::{Error, Result};
 use crate::interval::Interval;
-use crate::state::{downcast, FieldId, SymField};
+use crate::state::{downcast, FieldFacts, FieldId, SymField};
 use crate::types::scalar::ScalarTransfer;
 use crate::wire::{self, WireError};
 
@@ -199,9 +199,16 @@ impl SymMinMax {
         outcome_is_true_side: bool,
     ) -> bool {
         match (true_side.is_empty(), false_side.is_empty()) {
-            (false, true) => outcome_is_true_side,
-            (true, false) => !outcome_is_true_side,
+            (false, true) => {
+                ctx.note_op(OpKind::Guard, self.id, "cmp", false);
+                outcome_is_true_side
+            }
+            (true, false) => {
+                ctx.note_op(OpKind::Guard, self.id, "cmp", false);
+                !outcome_is_true_side
+            }
             (false, false) => {
+                ctx.note_op(OpKind::Guard, self.id, "cmp", true);
                 if ctx.choose(2) == 0 {
                     self.constraint = true_side;
                     outcome_is_true_side
@@ -331,6 +338,24 @@ impl SymField for SymMinMax {
 
     fn as_any(&self) -> &dyn std::any::Any {
         self
+    }
+
+    fn facts(&self) -> FieldFacts {
+        FieldFacts {
+            kind: "minmax",
+            concrete: !self.tracking_input,
+            ..FieldFacts::default()
+        }
+    }
+
+    fn perturb(&mut self) -> bool {
+        // Shift the accumulated extremum; the seed saturates away from the
+        // fold identity so the change survives later updates.
+        self.acc = match self.mode {
+            Extremum::Min => self.acc.saturating_sub(1),
+            Extremum::Max => self.acc.saturating_add(1),
+        };
+        true
     }
 
     fn describe(&self) -> String {

@@ -17,9 +17,9 @@
 use std::fmt;
 use std::sync::Arc;
 
-use crate::ctx::SymCtx;
+use crate::ctx::{OpKind, SymCtx};
 use crate::error::{Error, Result};
-use crate::state::{downcast, FieldId, SymField};
+use crate::state::{downcast, FieldFacts, FieldId, SymField};
 use crate::types::scalar::{ScalarTransfer, SymScalar};
 use crate::wire::{self, Wire, WireError};
 
@@ -164,8 +164,10 @@ impl<T: PredValue> SymPred<T> {
             Held::Unset => self.initial_outcome,
             Held::Unknown => {
                 if let Some((_, out)) = self.decisions.iter().find(|(a, _)| a == arg) {
+                    ctx.note_op(OpKind::PredEval, self.id, "eval", false);
                     return *out;
                 }
+                ctx.note_op(OpKind::PredEval, self.id, "eval", true);
                 if self.decisions.len() >= self.max_decisions {
                     ctx.fail(Error::PredicateWindowExceeded {
                         decisions: self.decisions.len(),
@@ -412,6 +414,26 @@ impl<T: PredValue> SymField for SymPred<T> {
 
     fn as_any(&self) -> &dyn std::any::Any {
         self
+    }
+
+    fn facts(&self) -> FieldFacts {
+        FieldFacts {
+            kind: "pred",
+            concrete: !matches!(self.held, Held::Unknown),
+            decisions: Some(self.decisions.len()),
+            max_decisions: Some(self.max_decisions),
+            ..FieldFacts::default()
+        }
+    }
+
+    fn perturb(&mut self) -> bool {
+        // Forget any concrete binding and flip the initial outcome: both
+        // future `eval` results and `as_scalar`/`affine_scalar` reports
+        // change, so any data or control dependence on this field shows
+        // up in the analyzer's liveness probe.
+        self.held = Held::Unset;
+        self.initial_outcome = !self.initial_outcome;
+        true
     }
 
     fn describe(&self) -> String {

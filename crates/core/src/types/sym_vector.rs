@@ -21,7 +21,7 @@
 use std::sync::Arc;
 
 use crate::error::{Error, Result};
-use crate::state::{downcast, FieldId, SymField};
+use crate::state::{downcast, FieldFacts, FieldId, SymField};
 use crate::types::scalar::{ScalarTransfer, SymScalar};
 use crate::types::sym_enum::SymEnum;
 use crate::types::sym_int::SymInt;
@@ -406,6 +406,40 @@ impl<T: VecElem> SymField for SymVector<T> {
 
     fn as_any(&self) -> &dyn std::any::Any {
         self
+    }
+
+    fn facts(&self) -> FieldFacts {
+        let mut refs: Vec<FieldId> = self
+            .elems()
+            .iter()
+            .filter_map(|e| match e {
+                Elem::Sym(SymScalar::Affine { field, .. }) => Some(*field),
+                _ => None,
+            })
+            .collect();
+        refs.sort_unstable();
+        refs.dedup();
+        FieldFacts {
+            kind: "vector",
+            concrete: self.sym_len == 0,
+            len: Some(self.len),
+            symbolic_elems: Some(self.sym_len),
+            refs,
+            ..FieldFacts::default()
+        }
+    }
+
+    fn perturb(&mut self) -> bool {
+        // Append a sentinel element so any result that reads the vector
+        // observes the change. Element types that cannot be fabricated
+        // from an i64 stay unperturbed (the analyzer then assumes live).
+        match T::from_i64(1) {
+            Some(v) => {
+                self.push(v);
+                true
+            }
+            None => false,
+        }
     }
 
     fn describe(&self) -> String {

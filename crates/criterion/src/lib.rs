@@ -1,3 +1,5 @@
+#![forbid(unsafe_code)]
+
 //! In-tree, dependency-free subset of the `criterion` crate API.
 //!
 //! The CI environment for this workspace has no access to crates.io, so the

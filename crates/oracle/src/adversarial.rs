@@ -47,6 +47,13 @@ impl Uda for OverflowSumUda {
     }
 }
 
+/// Analyzer event variants for [`OverflowSumUda`]: the two regimes of
+/// [`overflow_ints`]. The giant variant gives the analyzer the worst-case
+/// growth step, so it can see the overflow proneness statically.
+pub fn overflow_variants() -> Vec<(&'static str, i64)> {
+    vec![("small", 7), ("giant", i64::MAX / 8)]
+}
+
 /// Non-negative events for [`OverflowSumUda`]: mostly small, with ~4%
 /// huge values so that longer streams genuinely overflow `i64`.
 pub fn overflow_ints(seed: u64, len: usize) -> Vec<i64> {
@@ -100,6 +107,14 @@ impl Uda for RestartProneUda {
     }
 }
 
+/// Analyzer event variants for [`RestartProneUda`]: the extremes of
+/// [`restart_ints`]. Either sign forks the never-set predicate; the small
+/// growth steps keep the overflow lint quiet, so the predicate-window
+/// finding stands alone.
+pub fn restart_variants() -> Vec<(&'static str, i64)> {
+    vec![("low", -50), ("high", 49)]
+}
+
 /// Small signed events for [`RestartProneUda`]; distinct values keep the
 /// fork transfers distinct.
 pub fn restart_ints(seed: u64, len: usize) -> Vec<i64> {
@@ -142,6 +157,13 @@ impl Uda for VectorHeavyUda {
     fn result(&self, s: &VectorState, _ctx: &mut SymCtx) -> Vec<i64> {
         s.out.concrete_elems().unwrap_or_default()
     }
+}
+
+/// Analyzer event variants for [`VectorHeavyUda`]: increments below and
+/// near the top of the [`vector_ints`] range, so the analysis sees both
+/// the quiet path and the report-and-reset path.
+pub fn vector_variants() -> Vec<(&'static str, i64)> {
+    vec![("small", 3), ("large", 6)]
 }
 
 /// Small non-negative increments for [`VectorHeavyUda`]: several events

@@ -31,6 +31,10 @@ OPTIONS:
     --sabotage <KIND>     deliberately break the chunked executor:
                           drop-last-event | reorder-chunks
                           (self-test: the sweep must then FAIL)
+    --analyze-first       run the static analyzer over each case first and
+                          skip matrix cells it predicts the engine will
+                          refuse (PathExplosion) — no differential signal
+                          there, only wasted path growth
     --artifact-dir <DIR>  where repro files go (default target/oracle)
     --no-artifacts        do not write repro files
     --help                this text
@@ -96,6 +100,7 @@ fn main() -> ExitCode {
                 None => return usage_error("--artifact-dir needs a path"),
             },
             "--no-artifacts" => opts.write_artifacts = false,
+            "--analyze-first" => opts.analyze_first = true,
             other => return usage_error(&format!("unknown argument {other:?}")),
         }
         i += 1;
@@ -146,8 +151,14 @@ fn run_sweep(opts: &OracleOptions) -> ExitCode {
 
     let report = run_oracle(opts);
     println!(
-        "ran {} differential comparisons and {} determinism probes",
-        report.comparisons, report.probes
+        "ran {} differential comparisons and {} determinism probes{}",
+        report.comparisons,
+        report.probes,
+        if opts.analyze_first {
+            format!(" (skipped {} predicted-refusal cells)", report.skipped)
+        } else {
+            String::new()
+        },
     );
 
     if report.clean() {

@@ -168,6 +168,15 @@ pub trait DynCase: Send + Sync {
         true
     }
 
+    /// Static analysis of the case's UDA over its registered event
+    /// variants, or `None` when the case has no variants (the analyzer
+    /// needs one representative event per behavioral variant to abstractly
+    /// interpret `update`). Used by `--analyze-first` to skip cells the
+    /// analyzer predicts the engine will refuse.
+    fn analyze(&self) -> Option<symple_core::UdaAnalysis> {
+        None
+    }
+
     /// Renders the sequential reference result for `input`.
     fn run_reference(&self, input: &CaseInput) -> String;
 
@@ -232,11 +241,12 @@ impl<E: Clone + Debug + Send + Sync + Wire + 'static> GroupBy for SingleKey<E> {
 }
 
 /// A concrete case: a UDA and its seeded event generator.
-pub struct UdaCase<U, F> {
+pub struct UdaCase<U: Uda, F> {
     id: &'static str,
     uda: U,
     generate: F,
     tree_compose_ok: bool,
+    variants: Vec<(&'static str, U::Event)>,
 }
 
 impl<U, F> UdaCase<U, F>
@@ -251,6 +261,7 @@ where
             uda,
             generate,
             tree_compose_ok: true,
+            variants: Vec::new(),
         }
     }
 
@@ -258,6 +269,13 @@ where
     /// [`DynCase::supports`]).
     pub fn without_tree_compose(mut self) -> UdaCase<U, F> {
         self.tree_compose_ok = false;
+        self
+    }
+
+    /// Registers the UDA's analyzer event variants, enabling
+    /// [`DynCase::analyze`] (and with it `--analyze-first`) for this case.
+    pub fn with_variants(mut self, variants: Vec<(&'static str, U::Event)>) -> UdaCase<U, F> {
+        self.variants = variants;
         self
     }
 
@@ -358,6 +376,14 @@ where
 
     fn supports(&self, cell: &Cell) -> bool {
         self.tree_compose_ok || cell.executor != ExecutorKind::MapReduceTree
+    }
+
+    fn analyze(&self) -> Option<symple_core::UdaAnalysis> {
+        if self.variants.is_empty() {
+            None
+        } else {
+            Some(symple_core::analyze_uda(&self.uda, &self.variants))
+        }
     }
 
     fn run_reference(&self, input: &CaseInput) -> String {

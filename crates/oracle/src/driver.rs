@@ -38,6 +38,12 @@ pub struct OracleOptions {
     /// Stop sweeping a case after this many findings (shrinking is the
     /// expensive part; duplicates of one bug add nothing).
     pub max_findings_per_case: usize,
+    /// Run the static analyzer over each case first and skip matrix cells
+    /// whose engine config the analysis predicts will be refused
+    /// (`--analyze-first`). A predicted refusal carries no differential
+    /// signal — the engine gives up instead of answering — so those cells
+    /// only burn time growing paths up to the bound before erroring.
+    pub analyze_first: bool,
 }
 
 impl OracleOptions {
@@ -52,6 +58,7 @@ impl OracleOptions {
             artifact_dir: PathBuf::from("target/oracle"),
             write_artifacts: true,
             max_findings_per_case: 2,
+            analyze_first: false,
         }
     }
 }
@@ -75,6 +82,9 @@ pub struct OracleReport {
     pub comparisons: u64,
     /// Determinism probes executed (summary bytes + fault recovery).
     pub probes: u64,
+    /// Matrix cells skipped because the static analysis predicted the
+    /// engine would refuse them (only under `analyze_first`).
+    pub skipped: u64,
     /// Confirmed, shrunk disagreements.
     pub findings: Vec<Finding>,
 }
@@ -154,6 +164,12 @@ pub fn run_oracle(opts: &OracleOptions) -> OracleReport {
         }
         let _case_span = symple_obs::span("oracle.case");
         symple_obs::counter_add("oracle.cases", 1);
+        // One analysis per case, reused across every cell of the matrix.
+        let analysis = if opts.analyze_first {
+            case.analyze()
+        } else {
+            None
+        };
         let mut rng = Rng64::seed_from_u64(opts.seed ^ fnv1a(case.id()));
         let mut case_findings = 0usize;
 
@@ -169,6 +185,10 @@ pub fn run_oracle(opts: &OracleOptions) -> OracleReport {
                     break;
                 }
                 if !case.supports(cell) {
+                    continue;
+                }
+                if predicted_refused(analysis.as_ref(), cell) {
+                    report.skipped += 1;
                     continue;
                 }
                 report.comparisons += 1;
@@ -225,6 +245,7 @@ pub fn run_oracle(opts: &OracleOptions) -> OracleReport {
     }
     symple_obs::counter_add("oracle.comparisons", report.comparisons);
     symple_obs::counter_add("oracle.probes", report.probes);
+    symple_obs::counter_add("oracle.skipped_cells", report.skipped);
     symple_obs::counter_add("oracle.findings", report.findings.len() as u64);
     // Distinct matrix cells often shrink to the same minimal reproducer;
     // keep one finding per artifact.
@@ -238,6 +259,17 @@ pub fn run_oracle(opts: &OracleOptions) -> OracleReport {
         }
     });
     report
+}
+
+/// The `--analyze-first` gate: a cell is skipped when the case's static
+/// analysis predicts its engine config ends in a [`PathExplosion`] refusal.
+/// Cases without variants (no analysis) are never skipped, and refusal
+/// prediction is deliberately conservative — see
+/// [`symple_core::UdaAnalysis::predicts_refusal`].
+///
+/// [`PathExplosion`]: symple_core::Error::PathExplosion
+fn predicted_refused(analysis: Option<&symple_core::UdaAnalysis>, cell: &Cell) -> bool {
+    analysis.is_some_and(|a| a.predicts_refusal(&cell.engine()))
 }
 
 /// Shrinks a disagreement and (optionally) writes its artifact.
@@ -342,6 +374,12 @@ fn write_artifact(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::case::UdaCase;
+    use symple_core::ctx::SymCtx;
+    use symple_core::engine::MergePolicy;
+    use symple_core::impl_sym_state;
+    use symple_core::types::{sym_int::SymInt, sym_pred::SymPred};
+    use symple_core::uda::Uda;
 
     fn quick_opts() -> OracleOptions {
         OracleOptions {
@@ -381,6 +419,82 @@ mod tests {
             matches!(outcome, crate::artifact::ReplayOutcome::Reproduced { .. }),
             "{outcome:?}"
         );
+    }
+
+    #[test]
+    fn analyze_first_is_a_no_op_on_a_well_behaved_case() {
+        let base = run_oracle(&quick_opts());
+        let analyzed = run_oracle(&OracleOptions {
+            analyze_first: true,
+            ..quick_opts()
+        });
+        // G1 never forks, so no cell is predicted-refused: same coverage,
+        // same verdict, nothing skipped.
+        assert!(analyzed.clean());
+        assert_eq!(analyzed.skipped, 0);
+        assert_eq!(analyzed.comparisons, base.comparisons);
+    }
+
+    /// Forks six unmergeable ways per eval chain (2^6 = 64 paths per
+    /// record): the shape `--analyze-first` exists to catch.
+    struct ForkBombUda;
+
+    #[derive(Clone, Debug)]
+    struct ForkBombState {
+        p: SymPred<i64>,
+        acc: SymInt,
+    }
+    impl_sym_state!(ForkBombState { p, acc });
+
+    impl Uda for ForkBombUda {
+        type State = ForkBombState;
+        type Event = i64;
+        type Output = i64;
+        fn init(&self) -> ForkBombState {
+            ForkBombState {
+                p: SymPred::new(|a: &i64, b: &i64| a < b).with_max_decisions(256),
+                acc: SymInt::new(0),
+            }
+        }
+        fn update(&self, s: &mut ForkBombState, ctx: &mut SymCtx, e: &i64) {
+            for k in 0..6i64 {
+                // Fresh argument per eval: every decision is a new fork,
+                // and the distinct added constants keep paths unmergeable.
+                if s.p.eval(ctx, &(e + k)) {
+                    s.acc.add(ctx, 1 << k);
+                }
+            }
+        }
+        fn result(&self, s: &ForkBombState, _ctx: &mut SymCtx) -> i64 {
+            s.acc.concrete_value().unwrap_or(0)
+        }
+    }
+
+    #[test]
+    fn analyze_first_gate_skips_doomed_cells_only() {
+        let case = UdaCase::new("BOMB", ForkBombUda, |_seed, _len| Vec::new())
+            .with_variants(vec![("event", 0i64)]);
+        let analysis = case.analyze().expect("variants registered");
+
+        // 64 paths per record with a 64-path restart budget: live paths
+        // survive a whole record, and the next record's 64× fan-out blows
+        // through max_paths_per_record (1024) — a predicted refusal.
+        let doomed = Cell {
+            merge_policy: MergePolicy::Never,
+            max_total_paths: 64,
+            ..Cell::default_chunked(2)
+        };
+        // A tight restart budget resets live paths to 1 after every
+        // record, so the same UDA stays under the per-record bound.
+        let rescued = Cell {
+            merge_policy: MergePolicy::Never,
+            max_total_paths: 2,
+            ..Cell::default_chunked(2)
+        };
+        assert!(predicted_refused(Some(&analysis), &doomed));
+        assert!(!predicted_refused(Some(&analysis), &rescued));
+        // Cases without variants (GPS) are never skipped.
+        assert!(!predicted_refused(None, &doomed));
     }
 
     #[test]

@@ -1,3 +1,5 @@
+#![forbid(unsafe_code)]
+
 //! Differential soundness oracle for the SYMPLE engine.
 //!
 //! SYMPLE's central claim (§3.6) is that running a UDA in parallel over

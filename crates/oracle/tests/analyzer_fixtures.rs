@@ -1,0 +1,105 @@
+//! The oracle's adversarial UDAs double as analyzer fixtures: each one was
+//! engineered to stress a different engine failure path, and the static
+//! analyzer must attribute each to a *distinct* SY diagnostic —
+//!
+//! * `OVF` (unguarded giant-step sum)      → SY004 overflow-prone integer
+//! * `RST` (never-set forking predicate)   → SY003 unbounded predicate window
+//! * `VEC` (symbolic pushes into a vector) → SY006 symbolic vector elements
+//!
+//! If two of these collapsed onto one code, the lint would be describing
+//! symptoms ("something is off") rather than causes, and the quickstart
+//! advice attached to each code would be wrong for at least one of them.
+
+use symple_analyze::{lint_analysis, Diagnostic, Severity};
+use symple_core::UdaAnalysis;
+use symple_oracle::adversarial::{
+    overflow_variants, restart_variants, vector_variants, OverflowSumUda, RestartProneUda,
+    VectorHeavyUda,
+};
+use symple_oracle::all_cases;
+
+fn codes(diags: &[Diagnostic]) -> Vec<&'static str> {
+    diags.iter().map(|d| d.code).collect()
+}
+
+fn analysis_of(id: &str) -> UdaAnalysis {
+    all_cases()
+        .into_iter()
+        .find(|c| c.id() == id)
+        .unwrap_or_else(|| panic!("case {id} missing"))
+        .analyze()
+        .unwrap_or_else(|| panic!("case {id} has no analyzer variants"))
+}
+
+#[test]
+fn overflow_uda_trips_the_overflow_lint() {
+    let diags = lint_analysis(&symple_core::analyze_uda(
+        &OverflowSumUda,
+        &overflow_variants(),
+    ));
+    let codes = codes(&diags);
+    assert!(codes.contains(&"SY004"), "{diags:?}");
+    assert!(!codes.contains(&"SY003"), "{diags:?}");
+    assert!(!codes.contains(&"SY006"), "{diags:?}");
+}
+
+#[test]
+fn restart_uda_trips_the_predicate_window_lint() {
+    let diags = lint_analysis(&symple_core::analyze_uda(
+        &RestartProneUda,
+        &restart_variants(),
+    ));
+    let codes = codes(&diags);
+    assert!(codes.contains(&"SY003"), "{diags:?}");
+    assert!(!codes.contains(&"SY004"), "{diags:?}");
+    assert!(!codes.contains(&"SY006"), "{diags:?}");
+}
+
+#[test]
+fn vector_uda_trips_the_symbolic_vector_lint() {
+    let diags = lint_analysis(&symple_core::analyze_uda(
+        &VectorHeavyUda,
+        &vector_variants(),
+    ));
+    let codes = codes(&diags);
+    assert!(codes.contains(&"SY006"), "{diags:?}");
+    assert!(!codes.contains(&"SY003"), "{diags:?}");
+    assert!(!codes.contains(&"SY004"), "{diags:?}");
+}
+
+#[test]
+fn registry_analyses_match_standalone_analyses() {
+    // The oracle's `DynCase::analyze` must lint identically to analyzing
+    // the UDA directly — the case registry adds no analysis of its own.
+    for (id, expected) in [("OVF", "SY004"), ("RST", "SY003"), ("VEC", "SY006")] {
+        let diags = lint_analysis(&analysis_of(id));
+        assert!(
+            codes(&diags).contains(&expected),
+            "case {id}: expected {expected} in {diags:?}"
+        );
+    }
+}
+
+#[test]
+fn no_adversarial_case_is_a_lint_error() {
+    // The adversarial UDAs are degenerate by design, but degeneracy is a
+    // *warning* (the engine handles each: overflow detection, restarts,
+    // late binding) — SY001 errors are reserved for UDAs the symbolic
+    // engine cannot run at all.
+    for id in ["OVF", "RST", "VEC"] {
+        let diags = lint_analysis(&analysis_of(id));
+        assert!(
+            diags.iter().all(|d| d.severity != Severity::Error),
+            "case {id}: {diags:?}"
+        );
+    }
+    // The overflow- and restart-prone hazards rate a warning; VEC's
+    // symbolic pushes are legal and merely informational (SY006).
+    for id in ["OVF", "RST"] {
+        let diags = lint_analysis(&analysis_of(id));
+        assert!(
+            diags.iter().any(|d| d.severity == Severity::Warn),
+            "case {id} should warn about its engineered hazard: {diags:?}"
+        );
+    }
+}

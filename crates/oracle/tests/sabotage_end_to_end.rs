@@ -27,6 +27,19 @@ fn drop_last_event_is_detected_shrunk_and_replayable() {
     let report = run_oracle(&opts);
     assert!(!report.clean(), "sabotaged run must produce findings");
 
+    // The UDA carrying the injected bug is itself one the static analyzer
+    // flags: the dynamic finding (below) and the static warning (here)
+    // must point at the same hazardous aggregation.
+    let flagged = symple_oracle::case_by_id("OVF")
+        .unwrap()
+        .analyze()
+        .expect("OVF has analyzer variants");
+    let diags = symple_analyze::lint_analysis(&flagged);
+    assert!(
+        diags.iter().any(|d| d.code == "SY004"),
+        "analyzer must flag the sabotaged case's overflow-prone UDA: {diags:?}"
+    );
+
     let finding = &report.findings[0];
     let artifact = &finding.artifact;
 

@@ -246,6 +246,21 @@ pub fn reference_b3(records: &[BingQuery]) -> Vec<(u64, Vec<i64>)> {
     v
 }
 
+// ------------------------------------------------- analyzer variants ----
+
+/// Analyzer event variants for the gap detector (B1, B2 and RedShift's
+/// R3): a timestamp adjacent to the liveness replay's previous event and
+/// one far past every threshold in use.
+pub fn gap_variants() -> Vec<(&'static str, i64)> {
+    vec![("adjacent", 10), ("after_gap", 100_000)]
+}
+
+/// Analyzer event variants for B3 — same timestamp classes as
+/// [`gap_variants`].
+pub fn b3_variants() -> Vec<(&'static str, i64)> {
+    gap_variants()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

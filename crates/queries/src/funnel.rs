@@ -123,6 +123,18 @@ pub fn reference_funnel(records: &[WebEvent]) -> Vec<(u64, Vec<i64>)> {
     v
 }
 
+// ------------------------------------------------- analyzer variants ----
+
+/// Analyzer event variants for the funnel: one per [`WebEventKind`].
+pub fn f1_variants() -> Vec<(&'static str, (u8, u64))> {
+    vec![
+        ("search", (WebEventKind::Search as u8, 1)),
+        ("review", (WebEventKind::Review as u8, 1)),
+        ("purchase", (WebEventKind::Purchase as u8, 1)),
+        ("other", (WebEventKind::Other as u8, 1)),
+    ]
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

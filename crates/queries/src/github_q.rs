@@ -331,6 +331,47 @@ pub fn reference_g4(records: &[GithubEvent]) -> Vec<(u64, Vec<i64>)> {
     v
 }
 
+// ------------------------------------------------- analyzer variants ----
+
+/// Analyzer event variants for G1: a push and any non-push operation
+/// (the only distinction `update` makes).
+pub fn g1_variants() -> Vec<(&'static str, u8)> {
+    vec![
+        ("push", GithubOp::Push as u8),
+        ("non_push", GithubOp::Delete as u8),
+    ]
+}
+
+/// Analyzer event variants for G2: the delete that triggers reporting,
+/// and any other operation.
+pub fn g2_variants() -> Vec<(&'static str, u8)> {
+    vec![
+        ("delete", GithubOp::Delete as u8),
+        ("non_delete", GithubOp::Push as u8),
+    ]
+}
+
+/// Analyzer event variants for G3: pull open, pull close, and the
+/// counted middle operations.
+pub fn g3_variants() -> Vec<(&'static str, u8)> {
+    vec![
+        ("pull_open", GithubOp::PullOpen as u8),
+        ("pull_close", GithubOp::PullClose as u8),
+        ("other", GithubOp::Push as u8),
+    ]
+}
+
+/// Analyzer event variants for G4: branch deletion, branch creation, and
+/// an operation G4 ignores. Timestamps are ordered so the liveness
+/// replays produce a real gap.
+pub fn g4_variants() -> Vec<(&'static str, (u8, i64))> {
+    vec![
+        ("branch_delete", (GithubOp::BranchDelete as u8, 1_000)),
+        ("branch_create", (GithubOp::BranchCreate as u8, 1_060)),
+        ("other", (GithubOp::Push as u8, 1_100)),
+    ]
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -255,6 +255,32 @@ pub fn reference_r4(records: &[AdImpression]) -> Vec<(u32, Vec<i64>)> {
     v
 }
 
+// ------------------------------------------------- analyzer variants ----
+
+/// Analyzer event variants for R1: every impression is the same unit
+/// event.
+pub fn r1_variants() -> Vec<(&'static str, ())> {
+    vec![("impression", ())]
+}
+
+/// Analyzer event variants for R2: two distinct countries, so the
+/// liveness replays cover both the single- and multi-country outcomes.
+pub fn r2_variants() -> Vec<(&'static str, u32)> {
+    vec![("country_a", 1), ("country_b", 2)]
+}
+
+/// Analyzer event variants for R3 — the gap detector's timestamp
+/// classes, far enough apart to clear [`SERVING_GAP_S`].
+pub fn r3_variants() -> Vec<(&'static str, i64)> {
+    crate::bing_q::gap_variants()
+}
+
+/// Analyzer event variants for R4: two distinct campaigns, covering both
+/// run continuation and run breaks in the replays.
+pub fn r4_variants() -> Vec<(&'static str, i64)> {
+    vec![("campaign_a", 1), ("campaign_b", 2)]
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

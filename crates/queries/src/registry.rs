@@ -10,12 +10,18 @@ use symple_datagen::{
 use symple_mapreduce::segment::split_into_segments;
 use symple_mapreduce::{GroupBy, JobConfig, Segment};
 
-use crate::bing_q::{b1_uda, b2_uda, B1Group, B2Group, B3Group, B3Uda};
-use crate::funnel::{FunnelGroup, FunnelUda};
-use crate::github_q::{G1Group, G1Uda, G2Group, G2Uda, G3Group, G3Uda, G4Group, G4Uda};
-use crate::redshift_q::{r3_uda, R1Group, R1Uda, R2Group, R2Uda, R3Group, R4Group, R4Uda};
+use crate::bing_q::{b1_uda, b2_uda, b3_variants, gap_variants, B1Group, B2Group, B3Group, B3Uda};
+use crate::funnel::{f1_variants, FunnelGroup, FunnelUda};
+use crate::github_q::{
+    g1_variants, g2_variants, g3_variants, g4_variants, G1Group, G1Uda, G2Group, G2Uda, G3Group,
+    G3Uda, G4Group, G4Uda,
+};
+use crate::redshift_q::{
+    r1_variants, r2_variants, r3_uda, r3_variants, r4_variants, R1Group, R1Uda, R2Group, R2Uda,
+    R3Group, R4Group, R4Uda,
+};
 use crate::runner::{execute, Backend, DataScale, LineGroup, QueryReport};
-use crate::twitter_q::{T1Group, T1Uda};
+use crate::twitter_q::{t1_variants, T1Group, T1Uda};
 
 /// Static description of one evaluation query (one Table 1 row).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -52,6 +58,9 @@ pub trait QueryRunner: Send + Sync {
     ) -> Result<QueryReport>;
     /// Raw bytes per input record for I/O accounting.
     fn raw_record_bytes(&self) -> u64;
+    /// Statically analyzes the query's UDA over its event variants
+    /// (abstract interpretation from an all-symbolic state).
+    fn analyze(&self) -> symple_core::UdaAnalysis;
 }
 
 fn github_records(scale: &DataScale) -> Vec<symple_datagen::GithubEvent> {
@@ -129,7 +138,7 @@ where
 }
 
 macro_rules! runner {
-    ($name:ident, $info:expr, $raw:expr, $records:ident, $group:expr, $uda:expr) => {
+    ($name:ident, $info:expr, $raw:expr, $records:ident, $group:expr, $uda:expr, $variants:expr) => {
         struct $name;
         impl QueryRunner for $name {
             fn info(&self) -> QueryInfo {
@@ -154,6 +163,9 @@ macro_rules! runner {
             fn raw_record_bytes(&self) -> u64 {
                 $raw
             }
+            fn analyze(&self) -> symple_core::UdaAnalysis {
+                symple_core::analyze_uda(&$uda, &$variants())
+            }
         }
     };
 }
@@ -172,7 +184,8 @@ runner!(
     raw_sizes::GITHUB,
     github_records,
     G1Group,
-    G1Uda
+    G1Uda,
+    g1_variants
 );
 
 runner!(
@@ -189,7 +202,8 @@ runner!(
     raw_sizes::GITHUB,
     github_records,
     G2Group,
-    G2Uda
+    G2Uda,
+    g2_variants
 );
 
 runner!(
@@ -206,7 +220,8 @@ runner!(
     raw_sizes::GITHUB,
     github_records,
     G3Group,
-    G3Uda
+    G3Uda,
+    g3_variants
 );
 
 runner!(
@@ -223,7 +238,8 @@ runner!(
     raw_sizes::GITHUB,
     github_records,
     G4Group,
-    G4Uda
+    G4Uda,
+    g4_variants
 );
 
 runner!(
@@ -240,7 +256,8 @@ runner!(
     raw_sizes::BING,
     bing_records,
     B1Group,
-    b1_uda()
+    b1_uda(),
+    gap_variants
 );
 
 runner!(
@@ -257,7 +274,8 @@ runner!(
     raw_sizes::BING,
     bing_records,
     B2Group,
-    b2_uda()
+    b2_uda(),
+    gap_variants
 );
 
 runner!(
@@ -274,7 +292,8 @@ runner!(
     raw_sizes::BING,
     bing_records,
     B3Group,
-    B3Uda
+    B3Uda,
+    b3_variants
 );
 
 runner!(
@@ -291,7 +310,8 @@ runner!(
     raw_sizes::TWITTER,
     twitter_records,
     T1Group,
-    T1Uda
+    T1Uda,
+    t1_variants
 );
 
 runner!(
@@ -308,12 +328,13 @@ runner!(
     raw_sizes::WEBLOG,
     weblog_records,
     FunnelGroup,
-    FunnelUda
+    FunnelUda,
+    f1_variants
 );
 
 macro_rules! redshift_runner {
     ($name:ident, $id:literal, $desc:literal, $condensed:expr, $e:expr, $i:expr, $p:expr,
-     $group:expr, $uda:expr) => {
+     $group:expr, $uda:expr, $variants:expr) => {
         struct $name;
         impl QueryRunner for $name {
             fn info(&self) -> QueryInfo {
@@ -355,6 +376,9 @@ macro_rules! redshift_runner {
                     raw_sizes::REDSHIFT
                 }
             }
+            fn analyze(&self) -> symple_core::UdaAnalysis {
+                symple_core::analyze_uda(&$uda, &$variants())
+            }
         }
     };
 }
@@ -368,7 +392,8 @@ redshift_runner!(
     true,
     false,
     R1Group,
-    R1Uda
+    R1Uda,
+    r1_variants
 );
 redshift_runner!(
     R2Runner,
@@ -379,7 +404,8 @@ redshift_runner!(
     false,
     true,
     R2Group,
-    R2Uda
+    R2Uda,
+    r2_variants
 );
 redshift_runner!(
     R3Runner,
@@ -390,7 +416,8 @@ redshift_runner!(
     false,
     true,
     R3Group,
-    r3_uda()
+    r3_uda(),
+    r3_variants
 );
 redshift_runner!(
     R4Runner,
@@ -401,7 +428,8 @@ redshift_runner!(
     true,
     true,
     R4Group,
-    R4Uda
+    R4Uda,
+    r4_variants
 );
 redshift_runner!(
     R1cRunner,
@@ -412,7 +440,8 @@ redshift_runner!(
     true,
     false,
     R1Group,
-    R1Uda
+    R1Uda,
+    r1_variants
 );
 redshift_runner!(
     R2cRunner,
@@ -423,7 +452,8 @@ redshift_runner!(
     false,
     true,
     R2Group,
-    R2Uda
+    R2Uda,
+    r2_variants
 );
 redshift_runner!(
     R3cRunner,
@@ -434,7 +464,8 @@ redshift_runner!(
     false,
     true,
     R3Group,
-    r3_uda()
+    r3_uda(),
+    r3_variants
 );
 redshift_runner!(
     R4cRunner,
@@ -445,7 +476,8 @@ redshift_runner!(
     true,
     true,
     R4Group,
-    R4Uda
+    R4Uda,
+    r4_variants
 );
 
 /// The 12 queries of Table 1, in the paper's order.
@@ -531,6 +563,27 @@ mod tests {
             let sym = q.run(&scale, Backend::Symple, &job).unwrap();
             assert_eq!(base.output_hash, sym.output_hash, "query {id}");
             assert_eq!(base.output_rows, sym.output_rows, "query {id}");
+        }
+    }
+
+    #[test]
+    fn every_query_analyzes_without_error_or_explosion() {
+        for q in all_queries() {
+            let id = q.info().id;
+            let a = q.analyze();
+            assert!(
+                a.first_error().is_none(),
+                "query {id}: {:?}",
+                a.first_error()
+            );
+            assert!(!a.any_exploded(), "query {id} exploded during analysis");
+            assert!(a.max_branching() >= 1, "query {id}");
+            // Paper queries are designed to parallelize: none should be
+            // predicted to refuse under the default engine config.
+            assert!(
+                !a.predicts_refusal(&symple_core::EngineConfig::default()),
+                "query {id} predicted to refuse under defaults"
+            );
         }
     }
 

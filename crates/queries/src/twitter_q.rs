@@ -141,6 +141,14 @@ pub fn reference_t1(records: &[Tweet]) -> Vec<(u64, Vec<i64>)> {
     v
 }
 
+// ------------------------------------------------- analyzer variants ----
+
+/// Analyzer event variants for T1: the event type is the spam mark
+/// itself.
+pub fn t1_variants() -> Vec<(&'static str, bool)> {
+    vec![("spam", true), ("clean", false)]
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
