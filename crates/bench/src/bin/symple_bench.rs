@@ -20,10 +20,11 @@
 //! report and must report zero regressions.
 
 use std::process::ExitCode;
+use std::time::Duration;
 
 use symple_bench::report::{diff_reports, BenchReport, BenchRow};
 use symple_bench::{measurement_scale, DEFAULT_RECORDS};
-use symple_mapreduce::JobConfig;
+use symple_mapreduce::{JobConfig, SchedulerConfig};
 use symple_queries::{runner_by_id, Backend};
 
 /// Default report path (also the checked-in artifact name for this PR).
@@ -322,5 +323,85 @@ fn measure_and_emit(opts: &Opts) -> ExitCode {
         let snap = symple_obs::snapshot();
         eprintln!("--- obs snapshot ---\n{}", snap.render());
     }
+    if opts.smoke {
+        return scheduler_overhead_gate(records);
+    }
     ExitCode::SUCCESS
+}
+
+/// Gate (smoke mode only): the fault-tolerant scheduler, with speculation
+/// enabled, must cost ≤ `OVERHEAD_GATE_PCT` wall time on clean runs
+/// relative to a bookkeeping-minimal configuration (one attempt, no
+/// speculation).
+///
+/// Min-of-rounds on each side filters scheduler-independent noise; a
+/// small absolute floor keeps the percentage gate from tripping on
+/// µs-scale jitter when the runs themselves take only milliseconds.
+const OVERHEAD_GATE_PCT: f64 = 5.0;
+const OVERHEAD_NOISE_FLOOR: Duration = Duration::from_millis(2);
+const OVERHEAD_ROUNDS: usize = 5;
+
+fn scheduler_overhead_gate(records: usize) -> ExitCode {
+    let runner = match runner_by_id("G1") {
+        Some(r) => r,
+        None => {
+            eprintln!("symple-bench: query G1 missing for the scheduler overhead gate");
+            return ExitCode::FAILURE;
+        }
+    };
+    let mut scale = measurement_scale("G1", records);
+    scale.segments = 8;
+
+    let default_job = JobConfig::default();
+    let minimal_job = JobConfig {
+        scheduler: SchedulerConfig::minimal(),
+        ..JobConfig::default()
+    };
+    assert!(
+        default_job.scheduler.speculation,
+        "gate must measure the full scheduler, speculation included"
+    );
+
+    // Interleave the configurations so host-level drift (thermal, cache)
+    // hits both sides equally; keep the per-side minimum.
+    let mut min_default = Duration::MAX;
+    let mut min_minimal = Duration::MAX;
+    for _ in 0..OVERHEAD_ROUNDS {
+        for (job, slot) in [
+            (&default_job, &mut min_default),
+            (&minimal_job, &mut min_minimal),
+        ] {
+            match runner.run(&scale, Backend::Symple, job) {
+                Ok(run) => *slot = (*slot).min(run.metrics.total_wall()),
+                Err(e) => {
+                    eprintln!("symple-bench: scheduler overhead probe failed: {e}");
+                    return ExitCode::FAILURE;
+                }
+            }
+        }
+    }
+
+    let overhead = min_default.saturating_sub(min_minimal);
+    let overhead_pct = if min_minimal.is_zero() {
+        0.0
+    } else {
+        overhead.as_secs_f64() / min_minimal.as_secs_f64() * 100.0
+    };
+    println!(
+        "scheduler overhead: default {d:.3} ms vs minimal {m:.3} ms -> +{o:.2}% (gate <={g}%, \
+         noise floor {nf} ms, min of {r} rounds)",
+        d = min_default.as_secs_f64() * 1e3,
+        m = min_minimal.as_secs_f64() * 1e3,
+        o = overhead_pct,
+        g = OVERHEAD_GATE_PCT,
+        nf = OVERHEAD_NOISE_FLOOR.as_millis(),
+        r = OVERHEAD_ROUNDS,
+    );
+    if overhead_pct <= OVERHEAD_GATE_PCT || overhead <= OVERHEAD_NOISE_FLOOR {
+        println!("scheduler overhead gate: ok");
+        ExitCode::SUCCESS
+    } else {
+        println!("scheduler overhead gate: FAILED");
+        ExitCode::FAILURE
+    }
 }

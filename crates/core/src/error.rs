@@ -74,6 +74,25 @@ pub enum Error {
     Wire(crate::wire::WireError),
     /// The UDA signalled a domain-specific failure.
     Uda(String),
+    /// A scheduled task panicked on its final allowed attempt.
+    ///
+    /// The scheduler isolates per-attempt panics with `catch_unwind` and
+    /// retries up to the configured cap; only a panic on the *last* attempt
+    /// (with no surviving twin in flight) surfaces as this error.
+    TaskPanicked {
+        /// Task index within the scheduled phase.
+        task: usize,
+        /// The 1-based attempt number that panicked.
+        attempt: u32,
+    },
+    /// A scheduled task failed every allowed attempt without panicking
+    /// (e.g. an injected crash plan that fails every attempt).
+    RetriesExhausted {
+        /// Task index within the scheduled phase.
+        task: usize,
+        /// The configured attempt cap that was exhausted.
+        attempts: u32,
+    },
 }
 
 impl fmt::Display for Error {
@@ -112,6 +131,15 @@ impl fmt::Display for Error {
             Error::EmptyComposition => write!(f, "summary composition yielded no feasible path"),
             Error::Wire(e) => write!(f, "wire format error: {e}"),
             Error::Uda(msg) => write!(f, "UDA error: {msg}"),
+            Error::TaskPanicked { task, attempt } => {
+                write!(
+                    f,
+                    "task {task} panicked on attempt {attempt} (final attempt)"
+                )
+            }
+            Error::RetriesExhausted { task, attempts } => {
+                write!(f, "task {task} failed all {attempts} allowed attempts")
+            }
         }
     }
 }

@@ -13,9 +13,16 @@ use symple_core::wire::Wire;
 use crate::groupby::{group_segment, GroupBy};
 use crate::job::{JobConfig, JobOutput};
 use crate::metrics::JobMetrics;
-use crate::pool::run_tasks;
+use crate::scheduler::run_scheduled;
 use crate::segment::Segment;
 use crate::shuffle::partition_to_reducers;
+
+/// Per-mapper shuffle byte accounting, folded inside the map task.
+#[derive(Debug, Clone, Copy, Default)]
+struct Tally {
+    bytes: u64,
+    records: u64,
+}
 
 /// Runs a groupby-aggregate job the baseline way: UDA in the reducers.
 pub fn run_baseline<G, U>(
@@ -36,27 +43,42 @@ where
     };
 
     // Map phase: groupby + field projection; events encoded for shuffle.
+    // Shuffle accounting (keys + encoded event lists) is tallied inside
+    // each map task at emit time, not re-walked on the main thread.
     let map_span = symple_obs::span("baseline.map_phase");
     type MapOut<K> = Vec<(K, Vec<u8>)>;
-    let (mapper_outputs, map_timing): (Vec<MapOut<G::Key>>, _) =
-        run_tasks(segments.iter().collect(), cfg.map_workers, |_, seg| {
+    let seg_refs: Vec<&Segment<G::Record>> = segments.iter().collect();
+    let map_run = run_scheduled(
+        &seg_refs,
+        cfg.map_workers,
+        &cfg.scheduler,
+        None,
+        |_, seg| {
             let groups = group_segment(g, &seg.records);
-            groups
+            let mut tally = Tally::default();
+            let out: MapOut<G::Key> = groups
                 .into_iter()
-                .map(|(k, events)| (k, events.to_wire()))
-                .collect()
-        });
+                .map(|(k, events)| {
+                    let payload = events.to_wire();
+                    tally.bytes += (k.wire_len() + payload.len()) as u64;
+                    tally.records += 1;
+                    (k, payload)
+                })
+                .collect();
+            (out, tally)
+        },
+    )?;
     drop(map_span);
-    metrics.map_cpu = map_timing.cpu;
-    metrics.map_wall = map_timing.wall;
-    metrics.map_max_task = map_timing.max_task;
+    metrics.map_cpu = map_run.timing.cpu;
+    metrics.map_wall = map_run.timing.wall;
+    metrics.map_max_task = map_run.timing.max_task;
+    metrics.absorb_scheduler(&map_run.stats);
 
-    // Shuffle accounting: keys + encoded event lists.
-    for out in &mapper_outputs {
-        for (k, payload) in out {
-            metrics.shuffle_bytes += (k.wire_len() + payload.len()) as u64;
-            metrics.shuffle_records += 1;
-        }
+    let mut mapper_outputs: Vec<MapOut<G::Key>> = Vec::with_capacity(map_run.results.len());
+    for (out, tally) in map_run.results {
+        metrics.shuffle_bytes += tally.bytes;
+        metrics.shuffle_records += tally.records;
+        mapper_outputs.push(out);
     }
     symple_obs::counter_add("shuffle.bytes", metrics.shuffle_bytes);
     symple_obs::counter_add("shuffle.records", metrics.shuffle_records);
@@ -64,8 +86,12 @@ where
     // Reduce phase: decode, stitch in mapper order, run the UDA.
     let reduce_span = symple_obs::span("baseline.reduce_phase");
     let reducer_inputs = partition_to_reducers(mapper_outputs, cfg.num_reducers);
-    let (reduce_results, reduce_timing) =
-        run_tasks(reducer_inputs, cfg.reduce_workers, |_, input| {
+    let reduce_run = run_scheduled(
+        &reducer_inputs,
+        cfg.reduce_workers,
+        &cfg.scheduler,
+        None,
+        |_, input| {
             let mut out: Vec<(G::Key, U::Output)> = Vec::new();
             for (key, chunks) in input {
                 let mut events: Vec<G::Event> = Vec::new();
@@ -75,17 +101,19 @@ where
                     events.extend(decoded);
                 }
                 let result = run_sequential(uda, events.iter())?;
-                out.push((key, result));
+                out.push((key.clone(), result));
             }
             Ok::<_, Error>(out)
-        });
+        },
+    )?;
     drop(reduce_span);
-    metrics.reduce_cpu = reduce_timing.cpu;
-    metrics.reduce_wall = reduce_timing.wall;
-    metrics.reduce_max_task = reduce_timing.max_task;
+    metrics.reduce_cpu = reduce_run.timing.cpu;
+    metrics.reduce_wall = reduce_run.timing.wall;
+    metrics.reduce_max_task = reduce_run.timing.max_task;
+    metrics.absorb_scheduler(&reduce_run.stats);
 
     let mut results = Vec::new();
-    for r in reduce_results {
+    for r in reduce_run.results {
         results.extend(r?);
     }
     results.sort_by(|a, b| a.0.cmp(&b.0));
@@ -119,36 +147,54 @@ where
         ..JobMetrics::default()
     };
 
-    // Map phase: one (key, encoded event) pair per record, sorted by key.
+    // Map phase: one (key, encoded event) pair per record, sorted by key;
+    // shuffle bytes tallied at emit time inside the task.
     type MapOut<K> = Vec<(K, Vec<u8>)>;
-    let (mapper_outputs, map_timing): (Vec<MapOut<G::Key>>, _) =
-        run_tasks(segments.iter().collect(), cfg.map_workers, |_, seg| {
+    let seg_refs: Vec<&Segment<G::Record>> = segments.iter().collect();
+    let map_run = run_scheduled(
+        &seg_refs,
+        cfg.map_workers,
+        &cfg.scheduler,
+        None,
+        |_, seg| {
             let mut pairs = Vec::new();
             let mut out: MapOut<G::Key> = Vec::with_capacity(seg.records.len());
+            let mut tally = Tally::default();
             for r in &seg.records {
                 pairs.clear();
                 g.extract_all(r, &mut pairs);
-                out.extend(pairs.drain(..).map(|(k, e)| (k, e.to_wire())));
+                out.extend(pairs.drain(..).map(|(k, e)| {
+                    let payload = e.to_wire();
+                    tally.bytes += (k.wire_len() + payload.len()) as u64;
+                    tally.records += 1;
+                    (k, payload)
+                }));
             }
             // Stable sort keeps the per-key record order intact.
             out.sort_by(|a, b| a.0.cmp(&b.0));
-            out
-        });
-    metrics.map_cpu = map_timing.cpu;
-    metrics.map_wall = map_timing.wall;
-    metrics.map_max_task = map_timing.max_task;
+            (out, tally)
+        },
+    )?;
+    metrics.map_cpu = map_run.timing.cpu;
+    metrics.map_wall = map_run.timing.wall;
+    metrics.map_max_task = map_run.timing.max_task;
+    metrics.absorb_scheduler(&map_run.stats);
 
-    for out in &mapper_outputs {
-        for (k, payload) in out {
-            metrics.shuffle_bytes += (k.wire_len() + payload.len()) as u64;
-            metrics.shuffle_records += 1;
-        }
+    let mut mapper_outputs: Vec<MapOut<G::Key>> = Vec::with_capacity(map_run.results.len());
+    for (out, tally) in map_run.results {
+        metrics.shuffle_bytes += tally.bytes;
+        metrics.shuffle_records += tally.records;
+        mapper_outputs.push(out);
     }
 
     // Reduce: merge per-key event streams in mapper order, run the UDA.
     let reducer_inputs = partition_to_reducers(mapper_outputs, cfg.num_reducers);
-    let (reduce_results, reduce_timing) =
-        run_tasks(reducer_inputs, cfg.reduce_workers, |_, input| {
+    let reduce_run = run_scheduled(
+        &reducer_inputs,
+        cfg.reduce_workers,
+        &cfg.scheduler,
+        None,
+        |_, input| {
             let mut out: Vec<(G::Key, U::Output)> = Vec::new();
             for (key, chunks) in input {
                 let mut events: Vec<G::Event> = Vec::with_capacity(chunks.len());
@@ -156,16 +202,18 @@ where
                     let mut rd = &payload[..];
                     events.push(G::Event::decode(&mut rd).map_err(Error::Wire)?);
                 }
-                out.push((key, run_sequential(uda, events.iter())?));
+                out.push((key.clone(), run_sequential(uda, events.iter())?));
             }
             Ok::<_, Error>(out)
-        });
-    metrics.reduce_cpu = reduce_timing.cpu;
-    metrics.reduce_wall = reduce_timing.wall;
-    metrics.reduce_max_task = reduce_timing.max_task;
+        },
+    )?;
+    metrics.reduce_cpu = reduce_run.timing.cpu;
+    metrics.reduce_wall = reduce_run.timing.wall;
+    metrics.reduce_max_task = reduce_run.timing.max_task;
+    metrics.absorb_scheduler(&reduce_run.stats);
 
     let mut results = Vec::new();
-    for r in reduce_results {
+    for r in reduce_run.results {
         results.extend(r?);
     }
     results.sort_by(|a, b| a.0.cmp(&b.0));

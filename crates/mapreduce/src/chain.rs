@@ -72,6 +72,10 @@ pub fn fold_metrics(first: JobMetrics, second: JobMetrics) -> JobMetrics {
         reduce_wall: first.reduce_wall + second.reduce_wall,
         reduce_cpu: first.reduce_cpu + second.reduce_cpu,
         groups: second.groups,
+        attempts: first.attempts + second.attempts,
+        speculative_launches: first.speculative_launches + second.speculative_launches,
+        speculative_wins: first.speculative_wins + second.speculative_wins,
+        retry_wasted_cpu: first.retry_wasted_cpu + second.retry_wasted_cpu,
         explore: {
             let mut e = first.explore;
             e.records += second.explore.records;

@@ -10,25 +10,44 @@
 
 use std::collections::HashSet;
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
 
 use symple_core::error::Result;
 use symple_core::uda::Uda;
 
 use crate::groupby::GroupBy;
 use crate::job::{JobConfig, JobOutput};
+use crate::scheduler::TaskFaults;
 use crate::segment::Segment;
 use crate::symple_job::run_symple_inner;
 
 /// Declares which map attempts fail.
 ///
 /// Attempt numbers are 1-based; a task fails while `(segment, attempt)`
-/// matches the plan, and succeeds on the next attempt.
+/// matches the plan, and succeeds on the next attempt — except
+/// `fail_always` segments, which fail *every* attempt and exercise the
+/// scheduler's retry cap ([`Error::RetriesExhausted`]).
+///
+/// [`Error::RetriesExhausted`]: symple_core::error::Error::RetriesExhausted
 #[derive(Debug, Clone, Default)]
 pub struct FaultPlan {
     /// Segment ids whose first attempt crashes (after doing the work).
     pub fail_first_attempt: HashSet<usize>,
     /// Segment ids whose first *two* attempts crash.
     pub fail_twice: HashSet<usize>,
+    /// Segment ids whose *every* attempt crashes — the job must surface a
+    /// typed error once the retry cap is exhausted, not spin forever.
+    pub fail_always: HashSet<usize>,
+    /// Segment ids whose first attempt panics mid-flight (isolated by the
+    /// scheduler's `catch_unwind`, then retried).
+    pub panic_first_attempt: HashSet<usize>,
+    /// Segment ids whose first attempt is delayed by [`straggle_delay`] —
+    /// raw material for speculation tests.
+    ///
+    /// [`straggle_delay`]: FaultPlan::straggle_delay
+    pub straggle_first_attempt: HashSet<usize>,
+    /// Extra latency injected into straggling first attempts.
+    pub straggle_delay: Duration,
 }
 
 impl FaultPlan {
@@ -36,7 +55,7 @@ impl FaultPlan {
     pub fn fail_once(segments: impl IntoIterator<Item = usize>) -> FaultPlan {
         FaultPlan {
             fail_first_attempt: segments.into_iter().collect(),
-            fail_twice: HashSet::new(),
+            ..FaultPlan::default()
         }
     }
 }
@@ -46,6 +65,7 @@ impl FaultPlan {
 pub struct FaultInjector {
     plan: FaultPlan,
     retries: AtomicU64,
+    panics: AtomicU64,
 }
 
 impl FaultInjector {
@@ -54,28 +74,83 @@ impl FaultInjector {
         FaultInjector {
             plan,
             retries: AtomicU64::new(0),
+            panics: AtomicU64::new(0),
         }
     }
 
     /// Whether this `(segment, attempt)` crashes. Counts the retry.
     pub fn attempt_fails(&self, segment: usize, attempt: u32) -> bool {
-        let fails = match attempt {
-            1 => {
-                self.plan.fail_first_attempt.contains(&segment)
-                    || self.plan.fail_twice.contains(&segment)
-            }
-            2 => self.plan.fail_twice.contains(&segment),
-            _ => false,
-        };
+        let fails = self.plan.fail_always.contains(&segment)
+            || match attempt {
+                1 => {
+                    self.plan.fail_first_attempt.contains(&segment)
+                        || self.plan.fail_twice.contains(&segment)
+                }
+                2 => self.plan.fail_twice.contains(&segment),
+                _ => false,
+            };
         if fails {
             self.retries.fetch_add(1, Ordering::Relaxed);
         }
         fails
     }
 
-    /// Re-executions triggered so far.
+    /// Whether this `(segment, attempt)` panics mid-flight. Counts it.
+    pub fn attempt_panics(&self, segment: usize, attempt: u32) -> bool {
+        let panics = attempt == 1 && self.plan.panic_first_attempt.contains(&segment);
+        if panics {
+            self.panics.fetch_add(1, Ordering::Relaxed);
+        }
+        panics
+    }
+
+    /// Extra latency for this `(segment, attempt)`.
+    pub fn attempt_delay(&self, segment: usize, attempt: u32) -> Duration {
+        if attempt == 1 && self.plan.straggle_first_attempt.contains(&segment) {
+            self.plan.straggle_delay
+        } else {
+            Duration::ZERO
+        }
+    }
+
+    /// Re-executions triggered so far (injected crashes, not panics).
     pub fn retries(&self) -> u64 {
         self.retries.load(Ordering::Relaxed)
+    }
+
+    /// Panics injected so far.
+    pub fn panics(&self) -> u64 {
+        self.panics.load(Ordering::Relaxed)
+    }
+}
+
+/// Adapts a segment-id-keyed [`FaultInjector`] onto the scheduler's
+/// task-index-keyed [`TaskFaults`] hook: `ids[task]` is the segment id of
+/// the task at that position in the scheduled slice.
+#[derive(Debug)]
+pub struct SegmentFaults<'a> {
+    injector: &'a FaultInjector,
+    ids: Vec<usize>,
+}
+
+impl<'a> SegmentFaults<'a> {
+    /// Builds the adapter from the scheduled segments' ids, in task order.
+    pub fn new(injector: &'a FaultInjector, ids: Vec<usize>) -> SegmentFaults<'a> {
+        SegmentFaults { injector, ids }
+    }
+}
+
+impl TaskFaults for SegmentFaults<'_> {
+    fn attempt_fails(&self, task: usize, attempt: u32) -> bool {
+        self.injector.attempt_fails(self.ids[task], attempt)
+    }
+
+    fn attempt_panics(&self, task: usize, attempt: u32) -> bool {
+        self.injector.attempt_panics(self.ids[task], attempt)
+    }
+
+    fn attempt_delay(&self, task: usize, attempt: u32) -> Duration {
+        self.injector.attempt_delay(self.ids[task], attempt)
     }
 }
 

@@ -3,6 +3,7 @@
 use symple_core::engine::EngineConfig;
 
 use crate::metrics::JobMetrics;
+use crate::scheduler::SchedulerConfig;
 
 /// How a SYMPLE reducer combines a key's summary chains (§3.6).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -36,6 +37,9 @@ pub struct JobConfig {
     /// aggregation"). Disable to force symbolic execution in every mapper,
     /// as the single-machine overhead experiment of §6.2 does.
     pub first_segment_concrete: bool,
+    /// Fault-tolerance knobs for the task scheduler: retry cap, simulated
+    /// backoff, straggler speculation.
+    pub scheduler: SchedulerConfig,
 }
 
 impl Default for JobConfig {
@@ -50,6 +54,7 @@ impl Default for JobConfig {
             engine: EngineConfig::default(),
             reduce_strategy: ReduceStrategy::default(),
             first_segment_concrete: true,
+            scheduler: SchedulerConfig::default(),
         }
     }
 }

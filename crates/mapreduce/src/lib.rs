@@ -74,6 +74,7 @@ pub mod groupby;
 pub mod job;
 pub mod metrics;
 pub mod pool;
+pub mod scheduler;
 pub mod segment;
 pub mod sequential;
 pub mod shuffle;
@@ -84,10 +85,15 @@ pub use baseline::{run_baseline, run_baseline_sorted};
 pub use chain::{fold_metrics, run_two_stage};
 pub use fault::{
     probe_fault_determinism, run_symple_with_faults, FaultInjector, FaultPlan, FaultProbe,
+    SegmentFaults,
 };
 pub use groupby::{GroupBy, Key};
 pub use job::{JobConfig, JobOutput, ReduceStrategy};
 pub use metrics::JobMetrics;
+pub use scheduler::{
+    run_scheduled, AttemptOutcome, AttemptRecord, ScheduledRun, SchedulerConfig, SchedulerStats,
+    TaskFaults,
+};
 pub use segment::Segment;
 pub use sequential::run_sequential_job;
 pub use streaming::run_symple_streaming;

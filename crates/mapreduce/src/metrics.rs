@@ -38,6 +38,15 @@ pub struct JobMetrics {
     pub reduce_cpu: Duration,
     /// Number of distinct groups.
     pub groups: u64,
+    /// Task attempts executed across phases (clean runs: one per task).
+    pub attempts: u64,
+    /// Speculative clones launched against straggler tasks.
+    pub speculative_launches: u64,
+    /// Speculative clones whose result won the race.
+    pub speculative_wins: u64,
+    /// Busy time of attempts whose work was discarded — injected failures,
+    /// isolated panics, and speculation race losers.
+    pub retry_wasted_cpu: Duration,
     /// Aggregated symbolic-exploration statistics (SYMPLE jobs only).
     pub explore: ExploreStats,
 }
@@ -88,6 +97,14 @@ impl JobMetrics {
             return 0.0;
         }
         (self.input_bytes as f64 / 1.0e6) / secs
+    }
+
+    /// Accumulates scheduler attempt accounting from one phase.
+    pub fn absorb_scheduler(&mut self, s: &crate::scheduler::SchedulerStats) {
+        self.attempts += s.attempts;
+        self.speculative_launches += s.speculative_launches;
+        self.speculative_wins += s.speculative_wins;
+        self.retry_wasted_cpu += s.retry_wasted_cpu;
     }
 
     /// Accumulates exploration stats from one map task.

@@ -1,12 +1,19 @@
 //! A minimal scoped worker pool for running map/reduce tasks in parallel.
 //!
-//! Tasks are pulled from a shared atomic cursor so long-running tasks do
-//! not serialize behind short ones; results are written back by index so
-//! output order is deterministic regardless of scheduling.
+//! Since the fault-tolerant scheduler landed ([`crate::scheduler`]), this
+//! module is a thin façade over [`crate::scheduler::run_scheduled`] with
+//! the default configuration and no fault hooks: tasks are pulled from a
+//! shared queue so long-running tasks do not serialize behind short ones,
+//! results are written back by index so output order is deterministic
+//! regardless of scheduling, and a panicking task surfaces as a typed
+//! error instead of unwinding the whole scope. All timing counters are
+//! 64-bit (`AtomicU64` inside the scheduler) — the earlier `AtomicUsize`
+//! nanosecond counters overflowed after ~4 s of busy time on 32-bit
+//! targets.
 
-use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Mutex;
-use std::time::{Duration, Instant};
+use std::time::Duration;
+
+use crate::scheduler::{run_scheduled, SchedulerConfig};
 
 /// The outcome of one pool phase.
 #[derive(Debug, Clone, Copy, Default)]
@@ -19,68 +26,28 @@ pub struct PhaseTiming {
     pub max_task: Duration,
 }
 
-/// Runs `f(index, item)` over all items using up to `workers` threads,
+/// Runs `f(index, &item)` over all items using up to `workers` threads,
 /// returning the results in input order plus the phase timing.
 ///
 /// The thread count is additionally clamped to the host's available
 /// parallelism: oversubscribing cores would time-share tasks and inflate
 /// their measured busy time, corrupting the CPU accounting that the
 /// cluster models extrapolate from.
+///
+/// # Panics
+///
+/// Panics if a task panics on its final allowed attempt — callers needing
+/// a typed error (the job layers do) use [`run_scheduled`] directly.
 pub fn run_tasks<T, R, F>(items: Vec<T>, workers: usize, f: F) -> (Vec<R>, PhaseTiming)
 where
-    T: Send,
+    T: Send + Sync,
     R: Send,
-    F: Fn(usize, T) -> R + Sync,
+    F: Fn(usize, &T) -> R + Sync,
 {
     let _span = symple_obs::span("pool.run_tasks");
-    let n = items.len();
-    let host = std::thread::available_parallelism()
-        .map(|p| p.get())
-        .unwrap_or(1);
-    let workers = workers.clamp(1, n.max(1)).min(host);
-    symple_obs::counter_add("pool.tasks", n as u64);
-    symple_obs::gauge_set("pool.workers", workers as i64);
-    let wall_start = Instant::now();
-    let slots: Vec<Mutex<Option<T>>> = items.into_iter().map(|t| Mutex::new(Some(t))).collect();
-    let results: Vec<Mutex<Option<R>>> = (0..n).map(|_| Mutex::new(None)).collect();
-    let cursor = AtomicUsize::new(0);
-    let cpu_nanos = AtomicUsize::new(0);
-    let max_task_nanos = AtomicUsize::new(0);
-
-    std::thread::scope(|scope| {
-        for _ in 0..workers {
-            scope.spawn(|| {
-                let mut busy = Duration::ZERO;
-                let mut longest = Duration::ZERO;
-                loop {
-                    let i = cursor.fetch_add(1, Ordering::Relaxed);
-                    if i >= n {
-                        break;
-                    }
-                    let item = slots[i].lock().unwrap().take().expect("task taken once");
-                    let start = Instant::now();
-                    let r = f(i, item);
-                    let took = start.elapsed();
-                    busy += took;
-                    longest = longest.max(took);
-                    *results[i].lock().unwrap() = Some(r);
-                }
-                cpu_nanos.fetch_add(busy.as_nanos() as usize, Ordering::Relaxed);
-                max_task_nanos.fetch_max(longest.as_nanos() as usize, Ordering::Relaxed);
-            });
-        }
-    });
-
-    let timing = PhaseTiming {
-        cpu: Duration::from_nanos(cpu_nanos.load(Ordering::Relaxed) as u64),
-        wall: wall_start.elapsed(),
-        max_task: Duration::from_nanos(max_task_nanos.load(Ordering::Relaxed) as u64),
-    };
-    let out = results
-        .into_iter()
-        .map(|m| m.into_inner().unwrap().expect("task completed"))
-        .collect();
-    (out, timing)
+    let run = run_scheduled(&items, workers, &SchedulerConfig::default(), None, f)
+        .unwrap_or_else(|e| panic!("pool task failed: {e}"));
+    (run.results, run.timing)
 }
 
 #[cfg(test)]
@@ -91,7 +58,7 @@ mod tests {
     fn results_in_input_order() {
         let items: Vec<usize> = (0..100).collect();
         let (out, t) = run_tasks(items, 4, |i, x| {
-            assert_eq!(i, x);
+            assert_eq!(i, *x);
             x * 2
         });
         assert_eq!(out, (0..100).map(|x| x * 2).collect::<Vec<_>>());
@@ -103,13 +70,13 @@ mod tests {
     fn single_worker_and_empty() {
         let (out, _) = run_tasks(vec![1, 2, 3], 1, |_, x| x + 1);
         assert_eq!(out, vec![2, 3, 4]);
-        let (out, _) = run_tasks(Vec::<i32>::new(), 4, |_, x| x);
+        let (out, _) = run_tasks(Vec::<i32>::new(), 4, |_, x| *x);
         assert!(out.is_empty());
     }
 
     #[test]
     fn more_workers_than_tasks() {
-        let (out, t) = run_tasks(vec![5], 16, |_, x| x);
+        let (out, t) = run_tasks(vec![5], 16, |_, x| *x);
         assert_eq!(out, vec![5]);
         assert!(t.max_task <= t.cpu);
     }
@@ -119,12 +86,23 @@ mod tests {
         let items: Vec<u64> = vec![200_000; 8];
         let (_, t) = run_tasks(items, 4, |_, n| {
             let mut acc = 0u64;
-            for i in 0..n {
+            for i in 0..*n {
                 acc = acc.wrapping_add(i * i);
             }
             acc
         });
         assert!(t.cpu > Duration::ZERO);
         assert!(t.max_task > Duration::ZERO);
+    }
+
+    #[test]
+    #[should_panic(expected = "pool task failed")]
+    fn pool_panic_is_reported_not_unwound() {
+        let _ = run_tasks(vec![0u8; 3], 2, |i, _| {
+            if i == 1 {
+                panic!("boom");
+            }
+            i
+        });
     }
 }

@@ -10,7 +10,15 @@
 //! compose adjacent chains incrementally; the final application is
 //! equivalent and simpler.
 
+//! Fault tolerance here is *panic isolation only*: a streaming task
+//! cannot be retried, because its partial emissions are already in the
+//! reducers' buffers, so a panicking mapper segment or reducer surfaces a
+//! typed [`Error::TaskPanicked`] (attempt 1) instead of unwinding the
+//! whole scope. Retryable execution is the batch path's job
+//! ([`crate::scheduler`]).
+
 use std::collections::BTreeMap;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::mpsc;
 use std::time::Instant;
 
@@ -72,33 +80,45 @@ where
         // Reducers: consume until all senders hang up.
         let reducer_handles: Vec<_> = receivers
             .into_iter()
-            .map(|rx| {
+            .enumerate()
+            .map(|(ridx, rx)| {
                 let template = &template;
                 scope.spawn(move || -> Result<ReducerOut<G::Key, U::Output>> {
-                    let mut buffered: BTreeMap<G::Key, BTreeMap<usize, Vec<u8>>> = BTreeMap::new();
-                    let mut bytes = 0u64;
-                    let mut records = 0u64;
-                    for emission in rx {
-                        bytes += (emission.key.wire_len() + emission.payload.len()) as u64;
-                        records += 1;
-                        buffered
-                            .entry(emission.key)
-                            .or_default()
-                            .insert(emission.mapper_id, emission.payload);
-                    }
-                    // All mappers done: apply chains in mapper order.
-                    let mut out = Vec::with_capacity(buffered.len());
-                    for (key, chunks) in buffered {
-                        let mut state = template.clone();
-                        for (_mapper, payload) in chunks {
-                            let mut rd = &payload[..];
-                            let chain = SummaryChain::<U::State>::decode(template, &mut rd)
-                                .map_err(Error::Wire)?;
-                            state = apply_chain(&chain, &state)?;
+                    // Isolate reducer panics: the task index is the
+                    // reducer's partition number.
+                    catch_unwind(AssertUnwindSafe(|| {
+                        let mut buffered: BTreeMap<G::Key, BTreeMap<usize, Vec<u8>>> =
+                            BTreeMap::new();
+                        let mut bytes = 0u64;
+                        let mut records = 0u64;
+                        for emission in rx {
+                            bytes += (emission.key.wire_len() + emission.payload.len()) as u64;
+                            records += 1;
+                            buffered
+                                .entry(emission.key)
+                                .or_default()
+                                .insert(emission.mapper_id, emission.payload);
                         }
-                        out.push((key, extract_result(uda, &state)?));
-                    }
-                    Ok((out, bytes, records))
+                        // All mappers done: apply chains in mapper order.
+                        let mut out = Vec::with_capacity(buffered.len());
+                        for (key, chunks) in buffered {
+                            let mut state = template.clone();
+                            for (_mapper, payload) in chunks {
+                                let mut rd = &payload[..];
+                                let chain = SummaryChain::<U::State>::decode(template, &mut rd)
+                                    .map_err(Error::Wire)?;
+                                state = apply_chain(&chain, &state)?;
+                            }
+                            out.push((key, extract_result(uda, &state)?));
+                        }
+                        Ok((out, bytes, records))
+                    }))
+                    .unwrap_or_else(|_| {
+                        Err(Error::TaskPanicked {
+                            task: ridx,
+                            attempt: 1,
+                        })
+                    })
                 })
             })
             .collect();
@@ -111,7 +131,15 @@ where
                 scope.spawn(move || -> Result<ExploreStats> {
                     let mut stats = ExploreStats::default();
                     for seg in segments.iter().skip(w).step_by(workers) {
-                        map_stream(g, uda, seg, cfg, &senders, &mut stats)?;
+                        // Isolate per-segment panics; emissions already
+                        // streamed cannot be retracted, so no retry.
+                        catch_unwind(AssertUnwindSafe(|| {
+                            map_stream(g, uda, seg, cfg, &senders, &mut stats)
+                        }))
+                        .unwrap_or(Err(Error::TaskPanicked {
+                            task: seg.id,
+                            attempt: 1,
+                        }))?;
                     }
                     Ok(stats)
                 })

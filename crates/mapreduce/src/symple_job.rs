@@ -15,15 +15,40 @@ use symple_core::summary::{Summary, SummaryChain};
 use symple_core::uda::{extract_result, run_concrete_state, Uda};
 use symple_core::wire::Wire;
 
+use crate::fault::SegmentFaults;
 use crate::groupby::{group_segment, GroupBy};
 use crate::job::{JobConfig, JobOutput};
 use crate::metrics::JobMetrics;
-use crate::pool::run_tasks;
+use crate::scheduler::run_scheduled;
 use crate::segment::Segment;
 use crate::shuffle::partition_to_reducers;
 
 /// One mapper's emission for one key: the encoded summary chain.
 type MapEmit<K> = (K, Vec<u8>);
+
+/// Everything a map task hands back: emits, engine stats, byte tally.
+type MapTaskOutput<K> = (Vec<MapEmit<K>>, ExploreStats, MapTally);
+
+/// Byte accounting folded inside each map task at emit time, so the main
+/// thread does not re-walk every emit after the map barrier.
+#[derive(Debug, Clone, Copy, Default)]
+pub(crate) struct MapTally {
+    /// Shuffle bytes this mapper emitted (keys + payloads, encoded).
+    pub shuffle_bytes: u64,
+    /// Shuffle records this mapper emitted.
+    pub shuffle_records: u64,
+    /// Payload bytes alone (the summary-compactness axis).
+    pub summary_bytes: u64,
+}
+
+impl MapTally {
+    /// Charges one `(key, payload)` emission.
+    pub fn push(&mut self, key_len: usize, payload_len: usize) {
+        self.shuffle_bytes += (key_len + payload_len) as u64;
+        self.shuffle_records += 1;
+        self.summary_bytes += payload_len as u64;
+    }
+}
 
 /// Runs a groupby-aggregate job the SYMPLE way: symbolic UDA in mappers,
 /// summary composition in reducers.
@@ -61,43 +86,42 @@ where
         ..JobMetrics::default()
     };
 
-    // Map phase: groupby + symbolic aggregation per key. A task whose
-    // attempt "fails" (fault injection standing in for a crashed node) is
-    // simply re-executed — safe because tasks are deterministic.
+    // Map phase: groupby + symbolic aggregation per key, run under the
+    // fault-tolerant scheduler. A task whose attempt "fails" (fault
+    // injection standing in for a crashed node) is re-executed up to the
+    // configured cap — safe because tasks are deterministic.
     let map_span = symple_obs::span("symple.map_phase");
-    let (mapper_results, map_timing) =
-        run_tasks(segments.iter().collect(), cfg.map_workers, |_, seg| {
+    let adapter = faults.map(|f| SegmentFaults::new(f, segments.iter().map(|s| s.id).collect()));
+    let hook = adapter
+        .as_ref()
+        .map(|a| a as &dyn crate::scheduler::TaskFaults);
+    let seg_refs: Vec<&Segment<G::Record>> = segments.iter().collect();
+    let map_run = run_scheduled(
+        &seg_refs,
+        cfg.map_workers,
+        &cfg.scheduler,
+        hook,
+        |_, seg| {
             let _task_span = symple_obs::span("symple.map_task");
-            let mut attempt = 0u32;
-            loop {
-                attempt += 1;
-                let result = map_task(g, uda, seg, cfg);
-                if let Some(f) = faults {
-                    if f.attempt_fails(seg.id, attempt) {
-                        continue; // Work lost with the "crashed" attempt.
-                    }
-                }
-                break result;
-            }
-        });
+            map_task(g, uda, seg, cfg)
+        },
+    )?;
     drop(map_span);
-    metrics.map_cpu = map_timing.cpu;
-    metrics.map_wall = map_timing.wall;
-    metrics.map_max_task = map_timing.max_task;
+    metrics.map_cpu = map_run.timing.cpu;
+    metrics.map_wall = map_run.timing.wall;
+    metrics.map_max_task = map_run.timing.max_task;
+    metrics.absorb_scheduler(&map_run.stats);
 
-    let mut mapper_outputs: Vec<Vec<MapEmit<G::Key>>> = Vec::with_capacity(mapper_results.len());
-    for r in mapper_results {
-        let (emits, stats) = r?;
+    // The per-mapper byte tallies were folded inside the map tasks at emit
+    // time; the main thread only sums one tally per mapper here.
+    let mut mapper_outputs: Vec<Vec<MapEmit<G::Key>>> = Vec::with_capacity(map_run.results.len());
+    for r in map_run.results {
+        let (emits, stats, tally) = r?;
         metrics.absorb_explore(stats);
+        metrics.shuffle_bytes += tally.shuffle_bytes;
+        metrics.shuffle_records += tally.shuffle_records;
+        metrics.summary_bytes += tally.summary_bytes;
         mapper_outputs.push(emits);
-    }
-
-    for out in &mapper_outputs {
-        for (k, payload) in out {
-            metrics.shuffle_bytes += (k.wire_len() + payload.len()) as u64;
-            metrics.shuffle_records += 1;
-            metrics.summary_bytes += payload.len() as u64;
-        }
     }
     symple_obs::counter_add("shuffle.bytes", metrics.shuffle_bytes);
     symple_obs::counter_add("shuffle.records", metrics.shuffle_records);
@@ -107,12 +131,16 @@ where
     let reduce_span = symple_obs::span("symple.reduce_phase");
     let template = uda.init();
     let reducer_inputs = partition_to_reducers(mapper_outputs, cfg.num_reducers);
-    let (reduce_results, reduce_timing) =
-        run_tasks(reducer_inputs, cfg.reduce_workers, |_, input| {
+    let reduce_run = run_scheduled(
+        &reducer_inputs,
+        cfg.reduce_workers,
+        &cfg.scheduler,
+        None,
+        |_, input| {
             let mut out: Vec<(G::Key, U::Output)> = Vec::new();
             for (key, chunks) in input {
                 let mut chains = Vec::with_capacity(chunks.len());
-                for (_mapper, payload) in &chunks {
+                for (_mapper, payload) in chunks {
                     let mut rd = &payload[..];
                     chains.push(
                         SummaryChain::<U::State>::decode(&template, &mut rd)
@@ -127,28 +155,21 @@ where
                         }
                         state
                     }
-                    crate::job::ReduceStrategy::TreeCompose => {
-                        // §3.6: composition is associative, so the chains
-                        // collapse in a balanced tree before one apply.
-                        let summaries: Vec<_> = chains
-                            .iter()
-                            .flat_map(|c| c.summaries().iter().cloned())
-                            .collect();
-                        let collapsed = tree_collapse(&summaries)?;
-                        apply_summary(&collapsed, &template)?
-                    }
+                    crate::job::ReduceStrategy::TreeCompose => collapse_chains(&chains, &template)?,
                 };
-                out.push((key, extract_result(uda, &state)?));
+                out.push((key.clone(), extract_result(uda, &state)?));
             }
             Ok::<_, Error>(out)
-        });
+        },
+    )?;
     drop(reduce_span);
-    metrics.reduce_cpu = reduce_timing.cpu;
-    metrics.reduce_wall = reduce_timing.wall;
-    metrics.reduce_max_task = reduce_timing.max_task;
+    metrics.reduce_cpu = reduce_run.timing.cpu;
+    metrics.reduce_wall = reduce_run.timing.wall;
+    metrics.reduce_max_task = reduce_run.timing.max_task;
+    metrics.absorb_scheduler(&reduce_run.stats);
 
     let mut results = Vec::new();
-    for r in reduce_results {
+    for r in reduce_run.results {
         results.extend(r?);
     }
     results.sort_by(|a, b| a.0.cmp(&b.0));
@@ -156,14 +177,38 @@ where
     Ok(JobOutput { results, metrics })
 }
 
+/// Collapses a key's summary chains into one final state (§3.6: the
+/// balanced-tree composition path).
+///
+/// An empty chain set — a key whose every mapper emitted an empty chain,
+/// or the degenerate no-chain case — contributes no summaries, and
+/// `tree_collapse(&[])` is an [`Error::IncompleteSummary`]; the correct
+/// result is the untouched initial state, so that case short-circuits to
+/// `template.clone()` instead of erroring.
+fn collapse_chains<S: symple_core::state::SymState>(
+    chains: &[SummaryChain<S>],
+    template: &S,
+) -> Result<S> {
+    let summaries: Vec<_> = chains
+        .iter()
+        .flat_map(|c| c.summaries().iter().cloned())
+        .collect();
+    if summaries.is_empty() {
+        return Ok(template.clone());
+    }
+    let collapsed = tree_collapse(&summaries)?;
+    apply_summary(&collapsed, template)
+}
+
 /// One SYMPLE map task: per-key symbolic (or, for the first segment,
-/// concrete) aggregation.
+/// concrete) aggregation. Byte accounting for the emits is folded here, at
+/// emit time, so the job's hot path never re-walks them.
 fn map_task<G, U>(
     g: &G,
     uda: &U,
     seg: &Segment<G::Record>,
     cfg: &JobConfig,
-) -> Result<(Vec<MapEmit<G::Key>>, ExploreStats)>
+) -> Result<MapTaskOutput<G::Key>>
 where
     G: GroupBy,
     U: Uda<Event = G::Event>,
@@ -171,6 +216,7 @@ where
     let groups = group_segment(g, &seg.records);
     let mut emits = Vec::with_capacity(groups.len());
     let mut stats = ExploreStats::default();
+    let mut tally = MapTally::default();
     for (key, events) in groups {
         let chain: SummaryChain<U::State> = if seg.id == 0 && cfg.first_segment_concrete {
             // The globally first segment holds every present key's first
@@ -191,9 +237,10 @@ where
         };
         let mut buf = Vec::new();
         chain.encode(&mut buf);
+        tally.push(key.wire_len(), buf.len());
         emits.push((key, buf));
     }
-    Ok((emits, stats))
+    Ok((emits, stats, tally))
 }
 
 #[cfg(test)]
@@ -311,5 +358,42 @@ mod tests {
         let segments = split_into_segments(&records, 1, 64);
         let sym = run_symple(&ByMod, &RunsUda, &segments, &JobConfig::default()).unwrap();
         assert_eq!(sym.metrics.explore.forks, 0, "first segment never forks");
+    }
+
+    #[test]
+    fn tree_compose_matches_apply_in_order() {
+        let records: Vec<i64> = (0..400).map(|i| (i * 11 + 5) % 89).collect();
+        let segments = split_into_segments(&records, 5, 64);
+        let mut cfg = JobConfig::default();
+        let in_order = run_symple(&ByMod, &RunsUda, &segments, &cfg).unwrap();
+        cfg.reduce_strategy = crate::job::ReduceStrategy::TreeCompose;
+        let tree = run_symple(&ByMod, &RunsUda, &segments, &cfg).unwrap();
+        assert_eq!(in_order.results, tree.results);
+    }
+
+    #[test]
+    fn collapse_chains_empty_cases_yield_initial_state() {
+        // The TreeCompose reduce path flat-maps chain summaries into
+        // `tree_collapse`, which errors on an empty slice — so a key whose
+        // chains are all empty (or absent entirely) must short-circuit to
+        // the untouched initial state instead.
+        let template = RunsUda.init();
+
+        // No chains at all.
+        let state = collapse_chains::<RunsState>(&[], &template).unwrap();
+        assert_eq!(extract_result(&RunsUda, &state).unwrap(), Vec::<i64>::new());
+
+        // Chains present but each holds zero summaries.
+        let empties = vec![
+            SummaryChain::<RunsState>::new(vec![]),
+            SummaryChain::<RunsState>::new(vec![]),
+        ];
+        let state = collapse_chains(&empties, &template).unwrap();
+        assert_eq!(extract_result(&RunsUda, &state).unwrap(), Vec::<i64>::new());
+
+        // A singleton chain still collapses normally.
+        let single = vec![SummaryChain::single(Summary::singleton(template.clone()))];
+        let state = collapse_chains(&single, &template).unwrap();
+        assert_eq!(extract_result(&RunsUda, &state).unwrap(), Vec::<i64>::new());
     }
 }

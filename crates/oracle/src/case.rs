@@ -211,6 +211,8 @@ pub fn error_variant(e: &Error) -> &'static str {
         Error::EmptyComposition => "EmptyComposition",
         Error::Wire(_) => "Wire",
         Error::Uda(_) => "Uda",
+        Error::TaskPanicked { .. } => "TaskPanicked",
+        Error::RetriesExhausted { .. } => "RetriesExhausted",
     }
 }
 

@@ -94,10 +94,11 @@ impl FaultKind {
             FaultKind::FailTwice if num_segments > 1 => FaultPlan {
                 fail_first_attempt: [0].into_iter().collect(),
                 fail_twice: [victim].into_iter().collect(),
+                ..FaultPlan::default()
             },
             FaultKind::FailTwice => FaultPlan {
-                fail_first_attempt: Default::default(),
                 fail_twice: [0].into_iter().collect(),
+                ..FaultPlan::default()
             },
         }
     }
@@ -201,6 +202,9 @@ impl Cell {
                 ReduceStrategy::ApplyInOrder
             },
             first_segment_concrete: self.first_segment_concrete,
+            // Oracle tasks run in microseconds; default speculation knobs
+            // (25 ms floor) never trigger, keeping retry counts exact.
+            scheduler: symple_mapreduce::SchedulerConfig::default(),
         }
     }
 

@@ -140,7 +140,7 @@ proptest! {
     ) {
         // A deterministic, input-dependent task so scheduling bugs (lost,
         // duplicated, or reordered tasks) change the output bytes.
-        let task = |i: usize, x: i64| -> (usize, i64) {
+        let task = |i: usize, x: &i64| -> (usize, i64) {
             (i, x.wrapping_mul(31).wrapping_add(i as i64))
         };
         let (one, t1) = run_tasks(items.clone(), 1, task);
@@ -158,7 +158,7 @@ proptest! {
 
 // ------------------------------------------------------- metric folding
 
-/// A fully synthetic [`JobMetrics`] from 18 generated raw values, so the
+/// A fully synthetic [`JobMetrics`] from 22 generated raw values, so the
 /// additivity property exercises every field without wall clocks.
 fn metrics_from(raw: &[u64]) -> JobMetrics {
     let ms = |v: u64| Duration::from_millis(v);
@@ -175,6 +175,10 @@ fn metrics_from(raw: &[u64]) -> JobMetrics {
         reduce_wall: ms(raw[9]),
         reduce_cpu: ms(raw[10]),
         groups: raw[11],
+        attempts: raw[18],
+        speculative_launches: raw[19],
+        speculative_wins: raw[20],
+        retry_wasted_cpu: ms(raw[21]),
         explore: ExploreStats {
             records: raw[12],
             runs: raw[13],
@@ -193,9 +197,9 @@ proptest! {
     /// are counted once — never dropped, never double counted.
     #[test]
     fn fold_metrics_is_additive(
-        a_raw in prop::collection::vec(0u64..1_000_000, 18..19),
-        b_raw in prop::collection::vec(0u64..1_000_000, 18..19),
-        c_raw in prop::collection::vec(0u64..1_000_000, 18..19),
+        a_raw in prop::collection::vec(0u64..1_000_000, 22..23),
+        b_raw in prop::collection::vec(0u64..1_000_000, 22..23),
+        c_raw in prop::collection::vec(0u64..1_000_000, 22..23),
     ) {
         let (a, b) = (metrics_from(&a_raw), metrics_from(&b_raw));
         let f = fold_metrics(a, b);
@@ -212,6 +216,13 @@ proptest! {
         prop_assert_eq!(f.explore.forks, a.explore.forks + b.explore.forks);
         prop_assert_eq!(f.explore.merges, a.explore.merges + b.explore.merges);
         prop_assert_eq!(f.explore.restarts, a.explore.restarts + b.explore.restarts);
+        prop_assert_eq!(f.attempts, a.attempts + b.attempts);
+        prop_assert_eq!(
+            f.speculative_launches,
+            a.speculative_launches + b.speculative_launches
+        );
+        prop_assert_eq!(f.speculative_wins, a.speculative_wins + b.speculative_wins);
+        prop_assert_eq!(f.retry_wasted_cpu, a.retry_wasted_cpu + b.retry_wasted_cpu);
         // Stage-1-owned, stage-2-owned, and bounding fields.
         prop_assert_eq!(f.input_records, a.input_records);
         prop_assert_eq!(f.input_bytes, a.input_bytes);
