@@ -324,7 +324,13 @@ fn measure_and_emit(opts: &Opts) -> ExitCode {
         eprintln!("--- obs snapshot ---\n{}", snap.render());
     }
     if opts.smoke {
-        return scheduler_overhead_gate(records);
+        // Run both gates so a failure in the first still reports the
+        // second's numbers.
+        let scheduler_ok = scheduler_overhead_gate(records);
+        let checkpoint_ok = checkpoint_overhead_gate(records);
+        if !(scheduler_ok && checkpoint_ok) {
+            return ExitCode::FAILURE;
+        }
     }
     ExitCode::SUCCESS
 }
@@ -341,12 +347,12 @@ const OVERHEAD_GATE_PCT: f64 = 5.0;
 const OVERHEAD_NOISE_FLOOR: Duration = Duration::from_millis(2);
 const OVERHEAD_ROUNDS: usize = 5;
 
-fn scheduler_overhead_gate(records: usize) -> ExitCode {
+fn scheduler_overhead_gate(records: usize) -> bool {
     let runner = match runner_by_id("G1") {
         Some(r) => r,
         None => {
             eprintln!("symple-bench: query G1 missing for the scheduler overhead gate");
-            return ExitCode::FAILURE;
+            return false;
         }
     };
     let mut scale = measurement_scale("G1", records);
@@ -375,7 +381,7 @@ fn scheduler_overhead_gate(records: usize) -> ExitCode {
                 Ok(run) => *slot = (*slot).min(run.metrics.total_wall()),
                 Err(e) => {
                     eprintln!("symple-bench: scheduler overhead probe failed: {e}");
-                    return ExitCode::FAILURE;
+                    return false;
                 }
             }
         }
@@ -399,9 +405,145 @@ fn scheduler_overhead_gate(records: usize) -> ExitCode {
     );
     if overhead_pct <= OVERHEAD_GATE_PCT || overhead <= OVERHEAD_NOISE_FLOOR {
         println!("scheduler overhead gate: ok");
-        ExitCode::SUCCESS
+        true
     } else {
         println!("scheduler overhead gate: FAILED");
-        ExitCode::FAILURE
+        false
+    }
+}
+
+/// Gate (smoke mode only): durable checkpointing against the on-disk
+/// store must cost ≤ [`OVERHEAD_GATE_PCT`] wall time relative to the same
+/// job with checkpointing disabled.
+///
+/// Each checkpointed round uses a fresh job id, so every round pays the
+/// full cost being gated: framing, CRC, tmp-file write, and atomic
+/// rename for every chunk (resume hits are the cheap case). Rounds are
+/// interleaved and min-reduced exactly like the scheduler gate.
+fn checkpoint_overhead_gate(records: usize) -> bool {
+    use symple_core::ctx::SymCtx;
+    use symple_core::types::{sym_int::SymInt, sym_pred::SymPred};
+    use symple_core::uda::Uda;
+    use symple_mapreduce::segment::split_into_segments;
+    use symple_mapreduce::{
+        run_symple, run_symple_checkpointed, CheckpointCtx, DiskCheckpointStore, GroupBy,
+    };
+
+    struct GateGroup;
+    impl GroupBy for GateGroup {
+        type Record = (u8, i64);
+        type Key = u8;
+        type Event = i64;
+        fn extract(&self, r: &(u8, i64)) -> Option<(u8, i64)> {
+            Some(*r)
+        }
+    }
+
+    /// A session-ish aggregation (predicate + counter) so map tasks do
+    /// representative symbolic work, not just byte shuffling.
+    struct GateUda;
+    #[derive(Clone, Debug)]
+    struct GateState {
+        sum: SymInt,
+        prev: SymPred<i64>,
+    }
+    symple_core::impl_sym_state!(GateState { sum, prev });
+    impl Uda for GateUda {
+        type State = GateState;
+        type Event = i64;
+        type Output = i64;
+        fn init(&self) -> GateState {
+            GateState {
+                sum: SymInt::new(0),
+                prev: SymPred::new(|p: &i64, c: &i64| c > p),
+            }
+        }
+        fn update(&self, s: &mut GateState, ctx: &mut SymCtx, e: &i64) {
+            if s.prev.eval(ctx, e) {
+                s.sum.add(ctx, 1);
+            }
+            s.prev.set(*e);
+        }
+        fn result(&self, s: &GateState, _ctx: &mut SymCtx) -> i64 {
+            s.sum.concrete_value().unwrap_or(0)
+        }
+    }
+
+    // Per-chunk write cost is fixed (frame + tmp + rename), so a floor on
+    // the row count keeps the percentage meaningful: against the smoke
+    // run's sub-millisecond jobs the same absolute cost reads as a huge
+    // relative number and the gate would only ever pass via the noise
+    // floor.
+    let rows: Vec<(u8, i64)> = (0..records.max(150_000))
+        .map(|i| ((i % 16) as u8, (i as i64 * 29 % 193) - 40))
+        .collect();
+    let segments = split_into_segments(&rows, 8, 64);
+    let job = JobConfig::default();
+
+    let dir = std::env::temp_dir().join(format!("symple-ckpt-gate-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let store = match DiskCheckpointStore::new(&dir) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("symple-bench: cannot create checkpoint dir {dir:?}: {e}");
+            return false;
+        }
+    };
+
+    // The larger workload carries proportionally larger host noise, so
+    // this gate runs more rounds than the scheduler's before taking the
+    // per-side minimum (still interleaved, still min-reduced).
+    let rounds = OVERHEAD_ROUNDS * 3;
+    let mut min_off = Duration::MAX;
+    let mut min_on = Duration::MAX;
+    for round in 0..rounds {
+        match run_symple(&GateGroup, &GateUda, &segments, &job) {
+            Ok(run) => min_off = min_off.min(run.metrics.total_wall()),
+            Err(e) => {
+                eprintln!("symple-bench: checkpoint overhead probe (off) failed: {e}");
+                return false;
+            }
+        }
+        let ctx = CheckpointCtx::new(&store, format!("gate-round-{round}"));
+        match run_symple_checkpointed(&GateGroup, &GateUda, &segments, &job, &ctx) {
+            Ok(run) => {
+                // Paranoia: a round that silently hit checkpoints would
+                // be measuring the read path, not the write path.
+                if run.metrics.checkpoint_misses != segments.len() as u64 {
+                    eprintln!("symple-bench: checkpoint gate round was not all-miss");
+                    return false;
+                }
+                min_on = min_on.min(run.metrics.total_wall());
+            }
+            Err(e) => {
+                eprintln!("symple-bench: checkpoint overhead probe (on) failed: {e}");
+                return false;
+            }
+        }
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+
+    let overhead = min_on.saturating_sub(min_off);
+    let overhead_pct = if min_off.is_zero() {
+        0.0
+    } else {
+        overhead.as_secs_f64() / min_off.as_secs_f64() * 100.0
+    };
+    println!(
+        "checkpoint overhead: on-disk {on:.3} ms vs disabled {off:.3} ms -> +{o:.2}% (gate <={g}%, \
+         noise floor {nf} ms, min of {r} rounds)",
+        on = min_on.as_secs_f64() * 1e3,
+        off = min_off.as_secs_f64() * 1e3,
+        o = overhead_pct,
+        g = OVERHEAD_GATE_PCT,
+        nf = OVERHEAD_NOISE_FLOOR.as_millis(),
+        r = rounds,
+    );
+    if overhead_pct <= OVERHEAD_GATE_PCT || overhead <= OVERHEAD_NOISE_FLOOR {
+        println!("checkpoint overhead gate: ok");
+        true
+    } else {
+        println!("checkpoint overhead gate: FAILED");
+        false
     }
 }

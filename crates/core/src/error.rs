@@ -93,6 +93,15 @@ pub enum Error {
         /// The configured attempt cap that was exhausted.
         attempts: u32,
     },
+    /// The whole job process "died" after a number of committed map tasks
+    /// — the in-process stand-in for a killed worker that the
+    /// checkpoint/resume path recovers from (`FaultPlan::kill_after_n_tasks`
+    /// in `symple-mapreduce`).
+    JobKilled {
+        /// Map tasks that committed (and, when checkpointing is enabled,
+        /// persisted their summaries) before the kill.
+        after_tasks: u64,
+    },
 }
 
 impl fmt::Display for Error {
@@ -139,6 +148,12 @@ impl fmt::Display for Error {
             }
             Error::RetriesExhausted { task, attempts } => {
                 write!(f, "task {task} failed all {attempts} allowed attempts")
+            }
+            Error::JobKilled { after_tasks } => {
+                write!(
+                    f,
+                    "job killed after {after_tasks} committed map tasks (resume from checkpoints)"
+                )
             }
         }
     }

@@ -1,0 +1,343 @@
+//! Framed, checksummed records for durable chunk-summary checkpoints.
+//!
+//! A checkpoint frame wraps one chunk's encoded map output in enough
+//! metadata to prove, on resume, that the bytes are (a) intact and (b)
+//! still *meaningful* for the job being resumed:
+//!
+//! ```text
+//! +-------+---------+-------------+-------------+--------------+---------+-------+
+//! | magic | version | chunk_index | config_hash | input_digest | payload | crc32 |
+//! | SYCP  |   u8    |   uvarint   |   uvarint   |   uvarint    | len+buf | u32le |
+//! +-------+---------+-------------+-------------+--------------+---------+-------+
+//! ```
+//!
+//! The CRC covers every byte before it. Integrity failures (truncation,
+//! bit flips, unknown version, trailing garbage) classify as
+//! [`FrameCheck::Corrupt`]; an intact frame whose metadata does not match
+//! the resuming job (different engine configuration, different input
+//! bytes, wrong chunk) classifies as [`FrameCheck::Stale`]. Both mean
+//! "recompute this chunk"; the distinction is kept because stale frames
+//! are evidence of an operator-visible configuration or data change, not
+//! of storage rot.
+
+use crate::wire::{get_bytes, get_len, get_uvarint, put_uvarint};
+
+/// Magic prefix of every checkpoint frame ("SYmple CheckPoint").
+pub const FRAME_MAGIC: [u8; 4] = *b"SYCP";
+
+/// Current frame format version. Bump on any layout change; readers
+/// refuse (quarantine) versions they do not know rather than guessing.
+pub const FRAME_VERSION: u8 = 1;
+
+/// CRC-32 (IEEE 802.3, reflected, polynomial `0xEDB88320`) over `bytes`.
+///
+/// Hand-rolled so the wire layer stays dependency-free; the table is
+/// computed at compile time.
+pub fn crc32(bytes: &[u8]) -> u32 {
+    const TABLE: [u32; 256] = {
+        let mut table = [0u32; 256];
+        let mut i = 0;
+        while i < 256 {
+            let mut c = i as u32;
+            let mut k = 0;
+            while k < 8 {
+                c = if c & 1 != 0 {
+                    0xEDB8_8320 ^ (c >> 1)
+                } else {
+                    c >> 1
+                };
+                k += 1;
+            }
+            table[i] = c;
+            i += 1;
+        }
+        table
+    };
+    let mut crc = !0u32;
+    for &b in bytes {
+        crc = TABLE[((crc ^ u32::from(b)) & 0xFF) as usize] ^ (crc >> 8);
+    }
+    !crc
+}
+
+/// FNV-1a over a byte slice — the deterministic digest used for engine
+/// configuration fingerprints and chunk input digests.
+pub fn fnv1a(bytes: &[u8]) -> u64 {
+    fnv1a_extend(0xcbf2_9ce4_8422_2325, bytes)
+}
+
+/// Folds more bytes into a running FNV-1a state (start from [`fnv1a`]'s
+/// offset basis, or chain calls to digest a multi-part input).
+pub fn fnv1a_extend(mut h: u64, bytes: &[u8]) -> u64 {
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// Word-at-a-time FNV fold: same xor-multiply structure as
+/// [`fnv1a_extend`] but consuming 8 bytes per multiply, with the
+/// byte-at-a-time tail for the remainder. Checkpointed map tasks digest
+/// every grouped input event, so the byte-serial fold would dominate the
+/// checkpoint overhead budget on large chunks. Produces different values
+/// than [`fnv1a_extend`] — callers pick one and stick with it.
+pub fn fnv1a_words(mut h: u64, bytes: &[u8]) -> u64 {
+    let mut chunks = bytes.chunks_exact(8);
+    for c in &mut chunks {
+        h ^= u64::from_le_bytes(c.try_into().expect("8-byte chunk"));
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    for &b in chunks.remainder() {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// The identity a checkpoint frame claims: which chunk it holds and under
+/// which engine configuration / input bytes it was produced.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FrameMeta {
+    /// Chunk (segment) index within the job.
+    pub chunk_index: u64,
+    /// Fingerprint of every engine/job knob that shapes the chunk's
+    /// output bytes.
+    pub config_hash: u64,
+    /// Digest of the chunk's grouped input events.
+    pub input_digest: u64,
+}
+
+/// Outcome of validating a frame against the resuming job's expectation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FrameCheck {
+    /// Intact and matching: the payload may be trusted.
+    Valid(Vec<u8>),
+    /// Integrity failure — truncated, bit-flipped, bad magic, unknown
+    /// version, or trailing garbage. The reason names the first check
+    /// that failed.
+    Corrupt(String),
+    /// Intact bytes whose metadata does not match the resuming job
+    /// (engine config changed, input changed, or wrong chunk).
+    Stale(String),
+}
+
+/// Encodes a frame at the current [`FRAME_VERSION`].
+pub fn encode_frame(meta: &FrameMeta, payload: &[u8]) -> Vec<u8> {
+    encode_frame_with_version(FRAME_VERSION, meta, payload)
+}
+
+/// Encodes a frame with an explicit version byte.
+///
+/// Only the corruption-matrix tests and sabotage harnesses should pass
+/// anything other than [`FRAME_VERSION`]: the frame is fully
+/// CRC-consistent, so decoding exercises the version check itself rather
+/// than the checksum.
+pub fn encode_frame_with_version(version: u8, meta: &FrameMeta, payload: &[u8]) -> Vec<u8> {
+    let mut buf = Vec::with_capacity(payload.len() + 32);
+    buf.extend_from_slice(&FRAME_MAGIC);
+    buf.push(version);
+    put_uvarint(&mut buf, meta.chunk_index);
+    put_uvarint(&mut buf, meta.config_hash);
+    put_uvarint(&mut buf, meta.input_digest);
+    put_uvarint(&mut buf, payload.len() as u64);
+    buf.extend_from_slice(payload);
+    let crc = crc32(&buf);
+    buf.extend_from_slice(&crc.to_le_bytes());
+    buf
+}
+
+/// Parses a frame's header and payload after the CRC has been verified.
+fn parse_body(body: &[u8]) -> Result<(u8, FrameMeta, Vec<u8>), String> {
+    let mut rd = body;
+    if rd.len() < FRAME_MAGIC.len() + 1 {
+        return Err("frame shorter than header".into());
+    }
+    let (magic, rest) = rd.split_at(FRAME_MAGIC.len());
+    if magic != FRAME_MAGIC {
+        return Err("bad magic".into());
+    }
+    let version = rest[0];
+    rd = &rest[1..];
+    let meta = FrameMeta {
+        chunk_index: get_uvarint(&mut rd).map_err(|e| format!("chunk index: {e}"))?,
+        config_hash: get_uvarint(&mut rd).map_err(|e| format!("config hash: {e}"))?,
+        input_digest: get_uvarint(&mut rd).map_err(|e| format!("input digest: {e}"))?,
+    };
+    let len = get_len(&mut rd).map_err(|e| format!("payload length: {e}"))?;
+    let payload = get_bytes(&mut rd, len)
+        .map_err(|e| format!("payload: {e}"))?
+        .to_vec();
+    if !rd.is_empty() {
+        return Err(format!("{} trailing bytes after payload", rd.len()));
+    }
+    Ok((version, meta, payload))
+}
+
+/// Decodes a frame without comparing its metadata to any expectation.
+///
+/// Integrity (length, CRC, magic, structure) is still enforced — only the
+/// *meaning* checks are skipped. This is the inspection path for
+/// quarantine tooling and the deliberate bypass the sabotage self-tests
+/// use to prove the metadata checks are load-bearing.
+pub fn decode_frame_unchecked(bytes: &[u8]) -> Result<(u8, FrameMeta, Vec<u8>), String> {
+    if bytes.len() < 4 {
+        return Err("frame shorter than its checksum".into());
+    }
+    let (body, tail) = bytes.split_at(bytes.len() - 4);
+    let stored = u32::from_le_bytes(tail.try_into().expect("4-byte tail"));
+    let computed = crc32(body);
+    if stored != computed {
+        return Err(format!(
+            "crc mismatch: stored {stored:#010x}, computed {computed:#010x}"
+        ));
+    }
+    parse_body(body)
+}
+
+/// Validates a frame against the resuming job's expected metadata.
+pub fn decode_frame(bytes: &[u8], expect: &FrameMeta) -> FrameCheck {
+    let (version, meta, payload) = match decode_frame_unchecked(bytes) {
+        Ok(parts) => parts,
+        Err(reason) => return FrameCheck::Corrupt(reason),
+    };
+    if version != FRAME_VERSION {
+        return FrameCheck::Corrupt(format!(
+            "unsupported frame version {version} (reader speaks {FRAME_VERSION})"
+        ));
+    }
+    if meta.chunk_index != expect.chunk_index {
+        return FrameCheck::Stale(format!(
+            "chunk index {} but expected {}",
+            meta.chunk_index, expect.chunk_index
+        ));
+    }
+    if meta.config_hash != expect.config_hash {
+        return FrameCheck::Stale(format!(
+            "engine-config hash {:#018x} but job expects {:#018x}",
+            meta.config_hash, expect.config_hash
+        ));
+    }
+    if meta.input_digest != expect.input_digest {
+        return FrameCheck::Stale(format!(
+            "input digest {:#018x} but chunk digests to {:#018x}",
+            meta.input_digest, expect.input_digest
+        ));
+    }
+    FrameCheck::Valid(payload)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const META: FrameMeta = FrameMeta {
+        chunk_index: 7,
+        config_hash: 0xDEAD_BEEF,
+        input_digest: 0x1234_5678_9ABC,
+    };
+
+    #[test]
+    fn crc32_known_vectors() {
+        // Standard IEEE test vectors.
+        assert_eq!(crc32(b""), 0);
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(
+            crc32(b"The quick brown fox jumps over the lazy dog"),
+            0x414F_A339
+        );
+    }
+
+    #[test]
+    fn round_trip_valid() {
+        let frame = encode_frame(&META, b"payload bytes");
+        assert_eq!(
+            decode_frame(&frame, &META),
+            FrameCheck::Valid(b"payload bytes".to_vec())
+        );
+        // Empty payloads frame fine too.
+        let empty = encode_frame(&META, b"");
+        assert_eq!(decode_frame(&empty, &META), FrameCheck::Valid(vec![]));
+    }
+
+    #[test]
+    fn truncation_is_corrupt() {
+        let frame = encode_frame(&META, b"some payload");
+        for cut in [0, 3, 8, frame.len() - 5, frame.len() - 1] {
+            match decode_frame(&frame[..cut], &META) {
+                FrameCheck::Corrupt(_) => {}
+                other => panic!("truncation at {cut} not corrupt: {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn every_bit_flip_is_corrupt() {
+        let frame = encode_frame(&META, b"abc");
+        for byte in 0..frame.len() {
+            for bit in 0..8 {
+                let mut flipped = frame.clone();
+                flipped[byte] ^= 1 << bit;
+                match decode_frame(&flipped, &META) {
+                    FrameCheck::Corrupt(_) => {}
+                    other => panic!("flip at {byte}.{bit} not corrupt: {other:?}"),
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn version_bump_with_valid_crc_is_corrupt() {
+        let frame = encode_frame_with_version(FRAME_VERSION + 1, &META, b"abc");
+        // The CRC is consistent, so this exercises the version check.
+        assert!(decode_frame_unchecked(&frame).is_ok());
+        match decode_frame(&frame, &META) {
+            FrameCheck::Corrupt(reason) => assert!(reason.contains("version"), "{reason}"),
+            other => panic!("version bump not corrupt: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn metadata_mismatches_are_stale() {
+        let frame = encode_frame(&META, b"abc");
+        let cases = [
+            FrameMeta {
+                chunk_index: 8,
+                ..META
+            },
+            FrameMeta {
+                config_hash: 1,
+                ..META
+            },
+            FrameMeta {
+                input_digest: 1,
+                ..META
+            },
+        ];
+        for expect in cases {
+            match decode_frame(&frame, &expect) {
+                FrameCheck::Stale(_) => {}
+                other => panic!("mismatch vs {expect:?} not stale: {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn unchecked_decode_skips_meaning_not_integrity() {
+        let frame = encode_frame(&META, b"xyz");
+        let (version, meta, payload) = decode_frame_unchecked(&frame).unwrap();
+        assert_eq!(version, FRAME_VERSION);
+        assert_eq!(meta, META);
+        assert_eq!(payload, b"xyz");
+        let mut bad = frame;
+        let last = bad.len() - 1;
+        bad[last] ^= 0xFF;
+        assert!(decode_frame_unchecked(&bad).is_err());
+    }
+
+    #[test]
+    fn fnv_digest_is_order_sensitive() {
+        assert_ne!(fnv1a(b"ab"), fnv1a(b"ba"));
+        assert_eq!(fnv1a_extend(fnv1a(b"ab"), b"cd"), fnv1a(b"abcd"));
+    }
+}

@@ -81,6 +81,7 @@ pub mod compose;
 pub mod ctx;
 pub mod engine;
 pub mod error;
+pub mod frame;
 pub mod interval;
 pub mod rng;
 pub mod state;
@@ -96,6 +97,7 @@ pub use compose::{apply_chain, apply_summary, compose_chain, compose_summaries};
 pub use ctx::{ChoiceVector, FootprintOp, OpKind, SymCtx};
 pub use engine::{EngineConfig, ExploreStats, MergePolicy, SymbolicExecutor};
 pub use error::{Error, Result};
+pub use frame::{FrameCheck, FrameMeta};
 pub use interval::Interval;
 pub use rng::Rng64;
 pub use state::{FieldFacts, FieldId, SymField, SymState};

@@ -76,6 +76,10 @@ pub fn fold_metrics(first: JobMetrics, second: JobMetrics) -> JobMetrics {
         speculative_launches: first.speculative_launches + second.speculative_launches,
         speculative_wins: first.speculative_wins + second.speculative_wins,
         retry_wasted_cpu: first.retry_wasted_cpu + second.retry_wasted_cpu,
+        checkpoint_hits: first.checkpoint_hits + second.checkpoint_hits,
+        checkpoint_misses: first.checkpoint_misses + second.checkpoint_misses,
+        checkpoint_corrupt: first.checkpoint_corrupt + second.checkpoint_corrupt,
+        chunks_salvaged_concrete: first.chunks_salvaged_concrete + second.chunks_salvaged_concrete,
         explore: {
             let mut e = first.explore;
             e.records += second.explore.records;

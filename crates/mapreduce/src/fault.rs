@@ -48,6 +48,16 @@ pub struct FaultPlan {
     pub straggle_first_attempt: HashSet<usize>,
     /// Extra latency injected into straggling first attempts.
     pub straggle_delay: Duration,
+    /// Simulated process death: once this many map tasks have *committed*
+    /// (and, when checkpointing is enabled, persisted their summaries),
+    /// every subsequent map task dies with
+    /// [`Error::JobKilled`] instead of running. Drives the
+    /// crash → restart → resume cycle in-process: run once with the kill,
+    /// then rerun the same job id against the same store and assert the
+    /// output is byte-identical to an uninterrupted run.
+    ///
+    /// [`Error::JobKilled`]: symple_core::error::Error::JobKilled
+    pub kill_after_n_tasks: Option<u64>,
 }
 
 impl FaultPlan {
@@ -66,6 +76,7 @@ pub struct FaultInjector {
     plan: FaultPlan,
     retries: AtomicU64,
     panics: AtomicU64,
+    completed: AtomicU64,
 }
 
 impl FaultInjector {
@@ -75,7 +86,27 @@ impl FaultInjector {
             plan,
             retries: AtomicU64::new(0),
             panics: AtomicU64::new(0),
+            completed: AtomicU64::new(0),
         }
+    }
+
+    /// If the plan kills the job and its task budget is already spent,
+    /// returns how many map tasks had committed — the job must die with
+    /// `Error::JobKilled { after_tasks }` instead of running the task.
+    pub fn kill_check(&self) -> Option<u64> {
+        let n = self.plan.kill_after_n_tasks?;
+        let done = self.completed.load(Ordering::SeqCst);
+        (done >= n).then_some(done)
+    }
+
+    /// Records one committed map task (call *after* its checkpoint save).
+    pub fn note_task_completed(&self) {
+        self.completed.fetch_add(1, Ordering::SeqCst);
+    }
+
+    /// Map tasks that committed before any kill.
+    pub fn completed_tasks(&self) -> u64 {
+        self.completed.load(Ordering::SeqCst)
     }
 
     /// Whether this `(segment, attempt)` crashes. Counts the retry.
@@ -170,7 +201,31 @@ where
     U: Uda<Event = G::Event>,
     U::Output: Send,
 {
-    run_symple_inner(g, uda, segments, cfg, Some(injector))
+    run_symple_inner(g, uda, segments, cfg, Some(injector), None)
+}
+
+/// Runs the SYMPLE job with fault injection *and* a checkpoint store —
+/// the full crash-drill entrypoint. The canonical drill: run with
+/// [`FaultPlan::kill_after_n_tasks`] until [`Error::JobKilled`] surfaces,
+/// then rerun the same job id against the same store with no faults and
+/// assert byte-identity to an uninterrupted run with `checkpoint_hits`
+/// covering the committed chunks.
+///
+/// [`Error::JobKilled`]: symple_core::error::Error::JobKilled
+pub fn run_symple_checkpointed_with_faults<G, U>(
+    g: &G,
+    uda: &U,
+    segments: &[Segment<G::Record>],
+    cfg: &JobConfig,
+    injector: &FaultInjector,
+    ckpt: &crate::checkpoint::CheckpointCtx<'_>,
+) -> Result<JobOutput<G::Key, U::Output>>
+where
+    G: GroupBy,
+    U: Uda<Event = G::Event>,
+    U::Output: Send,
+{
+    run_symple_inner(g, uda, segments, cfg, Some(injector), Some(ckpt))
 }
 
 /// Side-by-side outcome of a clean run and a fault-injected re-run of the
@@ -225,7 +280,7 @@ where
     U: Uda<Event = G::Event>,
     U::Output: Send,
 {
-    let clean = run_symple_inner(g, uda, segments, cfg, None)?;
+    let clean = run_symple_inner(g, uda, segments, cfg, None, None)?;
     let injector = FaultInjector::new(plan);
     let faulty = run_symple_with_faults(g, uda, segments, cfg, &injector)?;
     Ok(FaultProbe {

@@ -37,6 +37,15 @@ pub struct JobConfig {
     /// aggregation"). Disable to force symbolic execution in every mapper,
     /// as the single-machine overhead experiment of §6.2 does.
     pub first_segment_concrete: bool,
+    /// Degraded completion: when a mapper's engine *refuses* a chunk
+    /// (path explosion, predicate window, symbolic overflow — even past
+    /// the §5.2 restart fallback), ship the chunk's raw events tagged
+    /// `NeedsConcrete` instead of failing the job; the in-order reducer
+    /// re-executes them concretely once the prefix state is resolved and
+    /// keeps composing symbolically. Each salvage is counted in
+    /// [`JobMetrics::chunks_salvaged_concrete`] as a measured sequential
+    /// barrier. Disable to restore hard-failure semantics.
+    pub salvage_refused_chunks: bool,
     /// Fault-tolerance knobs for the task scheduler: retry cap, simulated
     /// backoff, straggler speculation.
     pub scheduler: SchedulerConfig,
@@ -54,6 +63,7 @@ impl Default for JobConfig {
             engine: EngineConfig::default(),
             reduce_strategy: ReduceStrategy::default(),
             first_segment_concrete: true,
+            salvage_refused_chunks: true,
             scheduler: SchedulerConfig::default(),
         }
     }

@@ -69,6 +69,7 @@
 
 pub mod baseline;
 pub mod chain;
+pub mod checkpoint;
 pub mod fault;
 pub mod groupby;
 pub mod job;
@@ -83,9 +84,12 @@ pub mod symple_job;
 
 pub use baseline::{run_baseline, run_baseline_sorted};
 pub use chain::{fold_metrics, run_two_stage};
+pub use checkpoint::{
+    config_fingerprint, CheckpointCtx, CheckpointStore, DiskCheckpointStore, MemCheckpointStore,
+};
 pub use fault::{
-    probe_fault_determinism, run_symple_with_faults, FaultInjector, FaultPlan, FaultProbe,
-    SegmentFaults,
+    probe_fault_determinism, run_symple_checkpointed_with_faults, run_symple_with_faults,
+    FaultInjector, FaultPlan, FaultProbe, SegmentFaults,
 };
 pub use groupby::{GroupBy, Key};
 pub use job::{JobConfig, JobOutput, ReduceStrategy};
@@ -97,4 +101,4 @@ pub use scheduler::{
 pub use segment::Segment;
 pub use sequential::run_sequential_job;
 pub use streaming::run_symple_streaming;
-pub use symple_job::run_symple;
+pub use symple_job::{run_symple, run_symple_checkpointed};

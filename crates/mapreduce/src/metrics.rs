@@ -47,6 +47,21 @@ pub struct JobMetrics {
     /// Busy time of attempts whose work was discarded — injected failures,
     /// isolated panics, and speculation race losers.
     pub retry_wasted_cpu: Duration,
+    /// Map chunks whose summaries were loaded from a valid checkpoint
+    /// frame instead of recomputed (checkpointed runs only).
+    pub checkpoint_hits: u64,
+    /// Map chunks with no stored checkpoint frame (every chunk of a fresh
+    /// checkpointed run is a miss).
+    pub checkpoint_misses: u64,
+    /// Map chunks whose stored frame failed validation — truncated,
+    /// bit-flipped, wrong version, or stale metadata. The frame was
+    /// quarantined and the chunk recomputed. When a store is attached,
+    /// `hits + misses + corrupt` equals the chunk count.
+    pub checkpoint_corrupt: u64,
+    /// `(key, chunk)` cells whose engine refusal was salvaged by shipping
+    /// raw events for in-order concrete re-execution at the reducer — the
+    /// degraded-completion path, each one a measured sequential barrier.
+    pub chunks_salvaged_concrete: u64,
     /// Aggregated symbolic-exploration statistics (SYMPLE jobs only).
     pub explore: ExploreStats,
 }

@@ -22,7 +22,6 @@ use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::mpsc;
 use std::time::Instant;
 
-use symple_core::compose::apply_chain;
 use symple_core::engine::{ExploreStats, SymbolicExecutor};
 use symple_core::error::{Error, Result};
 use symple_core::summary::{Summary, SummaryChain};
@@ -30,10 +29,13 @@ use symple_core::uda::{extract_result, run_concrete_state, Uda};
 use symple_core::wire::Wire;
 
 use crate::groupby::{group_segment, GroupBy};
-use crate::job::{JobConfig, JobOutput};
+use crate::job::{JobConfig, JobOutput, ReduceStrategy};
 use crate::metrics::JobMetrics;
 use crate::segment::Segment;
 use crate::shuffle::partition;
+use crate::symple_job::{
+    compose_payloads, encode_chain_payload, encode_events_payload, is_engine_refusal,
+};
 
 /// What one reducer thread returns: its results plus byte/record counts.
 type ReducerOut<K, O> = (Vec<(K, O)>, u64, u64);
@@ -99,16 +101,18 @@ where
                                 .or_default()
                                 .insert(emission.mapper_id, emission.payload);
                         }
-                        // All mappers done: apply chains in mapper order.
+                        // All mappers done: compose payloads in mapper
+                        // order, salvaging `NeedsConcrete` chunks in place.
                         let mut out = Vec::with_capacity(buffered.len());
                         for (key, chunks) in buffered {
-                            let mut state = template.clone();
-                            for (_mapper, payload) in chunks {
-                                let mut rd = &payload[..];
-                                let chain = SummaryChain::<U::State>::decode(template, &mut rd)
-                                    .map_err(Error::Wire)?;
-                                state = apply_chain(&chain, &state)?;
-                            }
+                            let payloads: Vec<&[u8]> =
+                                chunks.values().map(|p| p.as_slice()).collect();
+                            let state = compose_payloads(
+                                uda,
+                                template,
+                                &payloads,
+                                ReduceStrategy::ApplyInOrder,
+                            )?;
                             out.push((key, extract_result(uda, &state)?));
                         }
                         Ok((out, bytes, records))
@@ -128,20 +132,21 @@ where
         let mapper_handles: Vec<_> = (0..workers)
             .map(|w| {
                 let senders = senders.clone();
-                scope.spawn(move || -> Result<ExploreStats> {
+                scope.spawn(move || -> Result<(ExploreStats, u64)> {
                     let mut stats = ExploreStats::default();
+                    let mut salvaged = 0u64;
                     for seg in segments.iter().skip(w).step_by(workers) {
                         // Isolate per-segment panics; emissions already
                         // streamed cannot be retracted, so no retry.
                         catch_unwind(AssertUnwindSafe(|| {
-                            map_stream(g, uda, seg, cfg, &senders, &mut stats)
+                            map_stream(g, uda, seg, cfg, &senders, &mut stats, &mut salvaged)
                         }))
                         .unwrap_or(Err(Error::TaskPanicked {
                             task: seg.id,
                             attempt: 1,
                         }))?;
                     }
-                    Ok(stats)
+                    Ok((stats, salvaged))
                 })
             })
             .collect();
@@ -152,13 +157,14 @@ where
         let mut map_err = None;
         for h in mapper_handles {
             match h.join().expect("mapper thread panicked") {
-                Ok(s) => {
+                Ok((s, salvaged)) => {
                     explore.records += s.records;
                     explore.runs += s.runs;
                     explore.forks += s.forks;
                     explore.merges += s.merges;
                     explore.restarts += s.restarts;
                     explore.max_live_paths = explore.max_live_paths.max(s.max_live_paths);
+                    metrics.chunks_salvaged_concrete += salvaged;
                 }
                 Err(e) => map_err = Some(e),
             }
@@ -196,6 +202,7 @@ fn map_stream<G, U>(
     cfg: &JobConfig,
     senders: &[mpsc::SyncSender<Emission<G::Key>>],
     stats: &mut ExploreStats,
+    salvaged: &mut u64,
 ) -> Result<()>
 where
     G: GroupBy,
@@ -203,22 +210,32 @@ where
 {
     let groups = group_segment(g, &seg.records);
     for (key, events) in groups {
-        let chain: SummaryChain<U::State> = if seg.id == 0 && cfg.first_segment_concrete {
-            SummaryChain::single(Summary::singleton(run_concrete_state(uda, events.iter())?))
+        let payload: Vec<u8> = if seg.id == 0 && cfg.first_segment_concrete {
+            encode_chain_payload(&SummaryChain::<U::State>::single(Summary::singleton(
+                run_concrete_state(uda, events.iter())?,
+            )))
         } else {
             let mut exec = SymbolicExecutor::new(uda, cfg.engine);
-            exec.feed_all(events.iter())?;
-            let (chain, s) = exec.finish();
-            stats.records += s.records;
-            stats.runs += s.runs;
-            stats.forks += s.forks;
-            stats.merges += s.merges;
-            stats.restarts += s.restarts;
-            stats.max_live_paths = stats.max_live_paths.max(s.max_live_paths);
-            chain
+            match exec.feed_all(events.iter()) {
+                Ok(()) => {
+                    let (chain, s) = exec.finish();
+                    stats.records += s.records;
+                    stats.runs += s.runs;
+                    stats.forks += s.forks;
+                    stats.merges += s.merges;
+                    stats.restarts += s.restarts;
+                    stats.max_live_paths = stats.max_live_paths.max(s.max_live_paths);
+                    encode_chain_payload(&chain)
+                }
+                Err(e) if cfg.salvage_refused_chunks && is_engine_refusal(&e) => {
+                    // Degraded completion, same rule as the batch path:
+                    // ship raw events for in-order concrete re-execution.
+                    *salvaged += 1;
+                    encode_events_payload(&events)
+                }
+                Err(e) => return Err(e),
+            }
         };
-        let mut payload = Vec::new();
-        chain.encode(&mut payload);
         let r = partition(&key, senders.len());
         senders[r]
             .send(Emission {

@@ -7,27 +7,77 @@
 //! that composes like any other. Reducers sort the chains by mapper id and
 //! apply them in order to the UDA's initial state — the data-parallel
 //! reduction that matches the sequential semantics exactly.
+//!
+//! Two robustness layers ride on the same shuffle:
+//!
+//! * **Degraded completion** — a chunk whose engine *refuses* (path
+//!   explosion, predicate window, symbolic overflow) ships its raw events
+//!   tagged `PAYLOAD_EVENTS` instead of failing the job; the in-order
+//!   reducer re-executes them concretely once the prefix state is resolved
+//!   and keeps composing symbolically ([`JobConfig::salvage_refused_chunks`]).
+//! * **Checkpointing** — with a [`CheckpointCtx`] attached
+//!   ([`run_symple_checkpointed`]), each completed chunk's emits are
+//!   persisted as a CRC-framed record; a resumed job loads valid frames
+//!   instead of recomputing and quarantines anything corrupt or stale
+//!   (see [`crate::checkpoint`]).
 
 use symple_core::compose::{apply_chain, apply_summary, tree_collapse};
+use symple_core::ctx::SymCtx;
 use symple_core::engine::{ExploreStats, SymbolicExecutor};
 use symple_core::error::{Error, Result};
+use symple_core::frame::{fnv1a, fnv1a_words, FrameMeta};
+use symple_core::state::SymState;
 use symple_core::summary::{Summary, SummaryChain};
 use symple_core::uda::{extract_result, run_concrete_state, Uda};
-use symple_core::wire::Wire;
+use symple_core::wire::{get_bytes, get_len, get_uvarint, put_uvarint, Wire, WireError};
 
+use crate::checkpoint::{config_fingerprint, lookup_chunk, save_chunk, CheckpointCtx, ChunkLookup};
 use crate::fault::SegmentFaults;
-use crate::groupby::{group_segment, GroupBy};
-use crate::job::{JobConfig, JobOutput};
+use crate::groupby::{group_segment, GroupBy, Key};
+use crate::job::{JobConfig, JobOutput, ReduceStrategy};
 use crate::metrics::JobMetrics;
 use crate::scheduler::run_scheduled;
 use crate::segment::Segment;
 use crate::shuffle::partition_to_reducers;
 
-/// One mapper's emission for one key: the encoded summary chain.
+/// Shuffle payload tag: the remaining bytes encode a [`SummaryChain`].
+pub(crate) const PAYLOAD_CHAIN: u8 = 0;
+
+/// Shuffle payload tag: the engine refused this `(key, chunk)` cell, so
+/// the remaining bytes encode its raw events (`NeedsConcrete`) for
+/// in-order concrete re-execution at the reducer.
+pub(crate) const PAYLOAD_EVENTS: u8 = 1;
+
+/// One mapper's emission for one key: the tagged, encoded payload.
 type MapEmit<K> = (K, Vec<u8>);
 
-/// Everything a map task hands back: emits, engine stats, byte tally.
-type MapTaskOutput<K> = (Vec<MapEmit<K>>, ExploreStats, MapTally);
+/// How a map task's checkpoint lookup resolved (feeds the
+/// `checkpoint_hits/misses/corrupt` metrics).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum CkptStatus {
+    /// No checkpoint store attached to this run.
+    Absent,
+    /// Valid frame loaded; the chunk was not recomputed.
+    Hit,
+    /// No frame stored; computed and saved.
+    Miss,
+    /// Frame failed validation; quarantined, then computed and re-saved.
+    Corrupt,
+}
+
+/// Everything a map task hands back.
+pub(crate) struct MapTaskOutput<K> {
+    /// Per-key tagged payloads, sorted by key.
+    emits: Vec<MapEmit<K>>,
+    /// Engine exploration stats (restored verbatim on a checkpoint hit).
+    stats: ExploreStats,
+    /// Byte accounting for the emits.
+    tally: MapTally,
+    /// `(key, chunk)` cells salvaged as `NeedsConcrete` events.
+    salvaged: u64,
+    /// How the checkpoint lookup resolved.
+    ckpt: CkptStatus,
+}
 
 /// Byte accounting folded inside each map task at emit time, so the main
 /// thread does not re-walk every emit after the map barrier.
@@ -50,6 +100,143 @@ impl MapTally {
     }
 }
 
+/// Recomputes the tally from a task's emits (used when emits are restored
+/// from a checkpoint, so resumed metrics match the uninterrupted run).
+fn tally_emits<K: Wire>(emits: &[MapEmit<K>]) -> MapTally {
+    let mut t = MapTally::default();
+    for (k, p) in emits {
+        t.push(k.wire_len(), p.len());
+    }
+    t
+}
+
+/// Whether an error is an engine *refusal* — the chunk is fine, the
+/// symbolic engine just cannot summarize it exactly — as opposed to a
+/// failure sequential execution would hit too.
+pub(crate) fn is_engine_refusal(e: &Error) -> bool {
+    matches!(
+        e,
+        Error::PathExplosion { .. }
+            | Error::PredicateWindowExceeded { .. }
+            | Error::ArithmeticOverflow { .. }
+    )
+}
+
+/// Encodes a summary chain as a tagged shuffle payload.
+pub(crate) fn encode_chain_payload<S: SymState>(chain: &SummaryChain<S>) -> Vec<u8> {
+    let mut buf = vec![PAYLOAD_CHAIN];
+    chain.encode(&mut buf);
+    buf
+}
+
+/// Encodes a refused chunk's raw events as a tagged shuffle payload.
+pub(crate) fn encode_events_payload<E: Wire>(events: &[E]) -> Vec<u8> {
+    let mut buf = vec![PAYLOAD_EVENTS];
+    put_uvarint(&mut buf, events.len() as u64);
+    for e in events {
+        e.encode(&mut buf);
+    }
+    buf
+}
+
+/// A decoded shuffle payload: either a composable summary chain or a
+/// `NeedsConcrete` event list awaiting its prefix state.
+pub(crate) enum DecodedPayload<S: SymState, E> {
+    /// A symbolic summary chain.
+    Chain(SummaryChain<S>),
+    /// Raw events for concrete re-execution.
+    Events(Vec<E>),
+}
+
+/// Decodes a tagged shuffle payload.
+pub(crate) fn decode_payload<S: SymState, E: Wire>(
+    template: &S,
+    payload: &[u8],
+) -> Result<DecodedPayload<S, E>> {
+    let Some((&tag, mut rd)) = payload.split_first() else {
+        return Err(Error::Wire(WireError::UnexpectedEof));
+    };
+    match tag {
+        PAYLOAD_CHAIN => Ok(DecodedPayload::Chain(
+            SummaryChain::decode(template, &mut rd).map_err(Error::Wire)?,
+        )),
+        PAYLOAD_EVENTS => {
+            let n = get_len(&mut rd).map_err(Error::Wire)?;
+            let mut events = Vec::with_capacity(n.min(4096));
+            for _ in 0..n {
+                events.push(E::decode(&mut rd).map_err(Error::Wire)?);
+            }
+            Ok(DecodedPayload::Events(events))
+        }
+        other => Err(Error::Uda(format!("unknown shuffle payload tag {other}"))),
+    }
+}
+
+/// Runs the UDA concretely over `events` *continuing from* `state` — the
+/// reducer-side salvage step for a `NeedsConcrete` chunk whose prefix
+/// state is fully resolved.
+pub(crate) fn run_events_from<U: Uda>(
+    uda: &U,
+    mut state: U::State,
+    events: &[U::Event],
+) -> Result<U::State> {
+    let mut ctx = SymCtx::concrete();
+    for e in events {
+        uda.update(&mut state, &mut ctx, e);
+        if let Some(err) = ctx.take_error() {
+            return Err(err);
+        }
+    }
+    Ok(state)
+}
+
+/// Folds one key's mapper-ordered payload sequence into a final state.
+///
+/// `ApplyInOrder` keeps a running concrete state: chains are applied,
+/// event payloads are re-executed concretely in place. `TreeCompose`
+/// collapses each *run of consecutive chains* with balanced composition
+/// (§3.6), resolving the running state only at `NeedsConcrete` barriers —
+/// an empty run between two barriers (or at either end) collapses to the
+/// untouched running state via [`collapse_chains`]'s empty-case rule.
+pub(crate) fn compose_payloads<U>(
+    uda: &U,
+    template: &U::State,
+    payloads: &[&[u8]],
+    strategy: ReduceStrategy,
+) -> Result<U::State>
+where
+    U: Uda,
+    U::Event: Wire,
+{
+    match strategy {
+        ReduceStrategy::ApplyInOrder => {
+            let mut state = template.clone();
+            for payload in payloads {
+                match decode_payload::<U::State, U::Event>(template, payload)? {
+                    DecodedPayload::Chain(chain) => state = apply_chain(&chain, &state)?,
+                    DecodedPayload::Events(events) => state = run_events_from(uda, state, &events)?,
+                }
+            }
+            Ok(state)
+        }
+        ReduceStrategy::TreeCompose => {
+            let mut state = template.clone();
+            let mut pending: Vec<SummaryChain<U::State>> = Vec::new();
+            for payload in payloads {
+                match decode_payload::<U::State, U::Event>(template, payload)? {
+                    DecodedPayload::Chain(chain) => pending.push(chain),
+                    DecodedPayload::Events(events) => {
+                        state = collapse_chains(&pending, &state)?;
+                        pending.clear();
+                        state = run_events_from(uda, state, &events)?;
+                    }
+                }
+            }
+            collapse_chains(&pending, &state)
+        }
+    }
+}
+
 /// Runs a groupby-aggregate job the SYMPLE way: symbolic UDA in mappers,
 /// summary composition in reducers.
 pub fn run_symple<G, U>(
@@ -63,16 +250,38 @@ where
     U: Uda<Event = G::Event>,
     U::Output: Send,
 {
-    run_symple_inner(g, uda, segments, cfg, None)
+    run_symple_inner(g, uda, segments, cfg, None, None)
 }
 
-/// [`run_symple`] with an optional fault injector (see [`crate::fault`]).
+/// [`run_symple`] with a checkpoint store attached: each completed map
+/// chunk's emits are persisted, and a rerun of the same job id loads valid
+/// frames instead of recomputing. Corrupt or stale frames are quarantined
+/// and their chunks re-mapped; [`JobMetrics`] reports
+/// `checkpoint_hits + checkpoint_misses + checkpoint_corrupt ==` chunk
+/// count for every checkpointed run.
+pub fn run_symple_checkpointed<G, U>(
+    g: &G,
+    uda: &U,
+    segments: &[Segment<G::Record>],
+    cfg: &JobConfig,
+    ckpt: &CheckpointCtx<'_>,
+) -> Result<JobOutput<G::Key, U::Output>>
+where
+    G: GroupBy,
+    U: Uda<Event = G::Event>,
+    U::Output: Send,
+{
+    run_symple_inner(g, uda, segments, cfg, None, Some(ckpt))
+}
+
+/// [`run_symple`] with optional fault injection and checkpointing.
 pub(crate) fn run_symple_inner<G, U>(
     g: &G,
     uda: &U,
     segments: &[Segment<G::Record>],
     cfg: &JobConfig,
     faults: Option<&crate::fault::FaultInjector>,
+    ckpt: Option<&CheckpointCtx<'_>>,
 ) -> Result<JobOutput<G::Key, U::Output>>
 where
     G: GroupBy,
@@ -103,7 +312,19 @@ where
         hook,
         |_, seg| {
             let _task_span = symple_obs::span("symple.map_task");
-            map_task(g, uda, seg, cfg)
+            // Simulated process death: once the plan's task budget is
+            // spent, every subsequent map task dies before doing work.
+            // Already-committed checkpoints survive for the resume.
+            if let Some(f) = faults {
+                if let Some(done) = f.kill_check() {
+                    return Err(Error::JobKilled { after_tasks: done });
+                }
+            }
+            let out = map_task::<G, U>(g, uda, seg, cfg, ckpt)?;
+            if let Some(f) = faults {
+                f.note_task_completed();
+            }
+            Ok(out)
         },
     )?;
     drop(map_span);
@@ -116,18 +337,29 @@ where
     // time; the main thread only sums one tally per mapper here.
     let mut mapper_outputs: Vec<Vec<MapEmit<G::Key>>> = Vec::with_capacity(map_run.results.len());
     for r in map_run.results {
-        let (emits, stats, tally) = r?;
-        metrics.absorb_explore(stats);
-        metrics.shuffle_bytes += tally.shuffle_bytes;
-        metrics.shuffle_records += tally.shuffle_records;
-        metrics.summary_bytes += tally.summary_bytes;
-        mapper_outputs.push(emits);
+        let out = r?;
+        metrics.absorb_explore(out.stats);
+        metrics.shuffle_bytes += out.tally.shuffle_bytes;
+        metrics.shuffle_records += out.tally.shuffle_records;
+        metrics.summary_bytes += out.tally.summary_bytes;
+        metrics.chunks_salvaged_concrete += out.salvaged;
+        match out.ckpt {
+            CkptStatus::Absent => {}
+            CkptStatus::Hit => metrics.checkpoint_hits += 1,
+            CkptStatus::Miss => metrics.checkpoint_misses += 1,
+            CkptStatus::Corrupt => metrics.checkpoint_corrupt += 1,
+        }
+        mapper_outputs.push(out.emits);
     }
     symple_obs::counter_add("shuffle.bytes", metrics.shuffle_bytes);
     symple_obs::counter_add("shuffle.records", metrics.shuffle_records);
     symple_obs::counter_add("summary.bytes", metrics.summary_bytes);
+    symple_obs::counter_add("checkpoint.hits", metrics.checkpoint_hits);
+    symple_obs::counter_add("checkpoint.corrupt", metrics.checkpoint_corrupt);
+    symple_obs::counter_add("salvage.chunks", metrics.chunks_salvaged_concrete);
 
-    // Reduce phase: decode chains, apply in mapper order, extract results.
+    // Reduce phase: decode payloads, compose in mapper order (salvaging
+    // `NeedsConcrete` chunks concretely in place), extract results.
     let reduce_span = symple_obs::span("symple.reduce_phase");
     let template = uda.init();
     let reducer_inputs = partition_to_reducers(mapper_outputs, cfg.num_reducers);
@@ -139,24 +371,8 @@ where
         |_, input| {
             let mut out: Vec<(G::Key, U::Output)> = Vec::new();
             for (key, chunks) in input {
-                let mut chains = Vec::with_capacity(chunks.len());
-                for (_mapper, payload) in chunks {
-                    let mut rd = &payload[..];
-                    chains.push(
-                        SummaryChain::<U::State>::decode(&template, &mut rd)
-                            .map_err(Error::Wire)?,
-                    );
-                }
-                let state = match cfg.reduce_strategy {
-                    crate::job::ReduceStrategy::ApplyInOrder => {
-                        let mut state = template.clone();
-                        for chain in &chains {
-                            state = apply_chain(chain, &state)?;
-                        }
-                        state
-                    }
-                    crate::job::ReduceStrategy::TreeCompose => collapse_chains(&chains, &template)?,
-                };
+                let payloads: Vec<&[u8]> = chunks.iter().map(|(_m, p)| p.as_slice()).collect();
+                let state = compose_payloads(uda, &template, &payloads, cfg.reduce_strategy)?;
                 out.push((key.clone(), extract_result(uda, &state)?));
             }
             Ok::<_, Error>(out)
@@ -184,11 +400,11 @@ where
 /// or the degenerate no-chain case — contributes no summaries, and
 /// `tree_collapse(&[])` is an [`Error::IncompleteSummary`]; the correct
 /// result is the untouched initial state, so that case short-circuits to
-/// `template.clone()` instead of erroring.
-fn collapse_chains<S: symple_core::state::SymState>(
-    chains: &[SummaryChain<S>],
-    template: &S,
-) -> Result<S> {
+/// `template.clone()` instead of erroring. The same rule makes salvaged
+/// `NeedsConcrete` chunks compose at chain boundaries: `template` here is
+/// the *running* state mid-sequence, and an empty run of chains between
+/// two concrete barriers must pass it through unchanged.
+fn collapse_chains<S: SymState>(chains: &[SummaryChain<S>], template: &S) -> Result<S> {
     let summaries: Vec<_> = chains
         .iter()
         .flat_map(|c| c.summaries().iter().cloned())
@@ -200,53 +416,216 @@ fn collapse_chains<S: symple_core::state::SymState>(
     apply_summary(&collapsed, template)
 }
 
-/// One SYMPLE map task: per-key symbolic (or, for the first segment,
-/// concrete) aggregation. Byte accounting for the emits is folded here, at
-/// emit time, so the job's hot path never re-walks them.
+/// Groups a segment and sorts by key, so emit order — and therefore the
+/// chunk's input digest and checkpoint bytes — is deterministic.
+fn sorted_groups<G: GroupBy>(g: &G, seg: &Segment<G::Record>) -> Vec<(G::Key, Vec<G::Event>)> {
+    let mut groups: Vec<_> = group_segment(g, &seg.records).into_iter().collect();
+    groups.sort_by(|a, b| a.0.cmp(&b.0));
+    groups
+}
+
+/// Digest of a chunk's grouped input — the frame-metadata component that
+/// detects checkpoints taken over different data.
+fn input_digest<K: Wire, E: Wire>(groups: &[(K, Vec<E>)]) -> u64 {
+    // One reused buffer and a word-wise fold: this runs over every input
+    // event of every checkpointed map task, so the byte-serial FNV plus a
+    // chunk-sized allocation would eat most of the checkpoint overhead
+    // budget (the ≤5% bench gate).
+    let mut h = fnv1a(b"symple.chunk.input");
+    let mut buf = Vec::with_capacity(256);
+    put_uvarint(&mut buf, groups.len() as u64);
+    for (k, events) in groups {
+        k.encode(&mut buf);
+        events.encode(&mut buf);
+        h = fnv1a_words(h, &buf);
+        buf.clear();
+    }
+    fnv1a_words(h, &buf)
+}
+
+/// Serializes a completed chunk for its checkpoint frame: the sorted
+/// emits plus the stats and salvage count needed to make a resumed run's
+/// metrics identical to an uninterrupted one.
+fn encode_checkpoint_payload<K: Wire>(
+    emits: &[MapEmit<K>],
+    stats: &ExploreStats,
+    salvaged: u64,
+) -> Vec<u8> {
+    let mut buf = Vec::new();
+    put_uvarint(&mut buf, emits.len() as u64);
+    for (k, p) in emits {
+        k.encode(&mut buf);
+        put_uvarint(&mut buf, p.len() as u64);
+        buf.extend_from_slice(p);
+    }
+    for v in [
+        stats.records,
+        stats.runs,
+        stats.forks,
+        stats.merges,
+        stats.restarts,
+        stats.max_live_paths as u64,
+    ] {
+        put_uvarint(&mut buf, v);
+    }
+    put_uvarint(&mut buf, salvaged);
+    buf
+}
+
+/// Inverse of [`encode_checkpoint_payload`].
+#[allow(clippy::type_complexity)]
+fn decode_checkpoint_payload<K: Wire>(
+    bytes: &[u8],
+) -> std::result::Result<(Vec<MapEmit<K>>, ExploreStats, u64), WireError> {
+    let mut rd = bytes;
+    let n = get_len(&mut rd)?;
+    let mut emits = Vec::with_capacity(n.min(4096));
+    for _ in 0..n {
+        let k = K::decode(&mut rd)?;
+        let len = get_len(&mut rd)?;
+        emits.push((k, get_bytes(&mut rd, len)?.to_vec()));
+    }
+    let stats = ExploreStats {
+        records: get_uvarint(&mut rd)?,
+        runs: get_uvarint(&mut rd)?,
+        forks: get_uvarint(&mut rd)?,
+        merges: get_uvarint(&mut rd)?,
+        restarts: get_uvarint(&mut rd)?,
+        max_live_paths: get_uvarint(&mut rd)? as usize,
+    };
+    let salvaged = get_uvarint(&mut rd)?;
+    Ok((emits, stats, salvaged))
+}
+
+/// Executes one chunk's per-key aggregation: concrete for the globally
+/// first segment, symbolic otherwise, salvaging engine refusals as
+/// `NeedsConcrete` event payloads when the config allows.
+fn compute_chunk<U, K>(
+    uda: &U,
+    seg_id: usize,
+    cfg: &JobConfig,
+    groups: &[(K, Vec<U::Event>)],
+) -> Result<(Vec<MapEmit<K>>, ExploreStats, u64)>
+where
+    U: Uda,
+    U::Event: Wire,
+    K: Key,
+{
+    let mut emits = Vec::with_capacity(groups.len());
+    let mut stats = ExploreStats::default();
+    let mut salvaged = 0u64;
+    for (key, events) in groups {
+        let payload: Vec<u8> = if seg_id == 0 && cfg.first_segment_concrete {
+            // The globally first segment holds every present key's first
+            // chunk: run concretely from the true initial state (§2.2).
+            // Errors here would hit sequential execution identically, so
+            // they propagate rather than salvage.
+            let state = run_concrete_state(uda, events.iter())?;
+            encode_chain_payload(&SummaryChain::single(Summary::singleton(state)))
+        } else {
+            let mut exec = SymbolicExecutor::new(uda, cfg.engine);
+            match exec.feed_all(events.iter()) {
+                Ok(()) => {
+                    let (chain, s) = exec.finish();
+                    stats.records += s.records;
+                    stats.runs += s.runs;
+                    stats.forks += s.forks;
+                    stats.merges += s.merges;
+                    stats.restarts += s.restarts;
+                    stats.max_live_paths = stats.max_live_paths.max(s.max_live_paths);
+                    encode_chain_payload(&chain)
+                }
+                Err(e) if cfg.salvage_refused_chunks && is_engine_refusal(&e) => {
+                    // Degraded completion: ship the raw events instead of
+                    // failing the job; the reducer re-executes them
+                    // concretely once the prefix state is resolved.
+                    salvaged += 1;
+                    encode_events_payload(events)
+                }
+                Err(e) => return Err(e),
+            }
+        };
+        emits.push((key.clone(), payload));
+    }
+    Ok((emits, stats, salvaged))
+}
+
+/// One SYMPLE map task: checkpoint lookup (when a store is attached), then
+/// per-key aggregation and checkpoint save on miss or corruption.
 fn map_task<G, U>(
     g: &G,
     uda: &U,
     seg: &Segment<G::Record>,
     cfg: &JobConfig,
+    ckpt: Option<&CheckpointCtx<'_>>,
 ) -> Result<MapTaskOutput<G::Key>>
 where
     G: GroupBy,
     U: Uda<Event = G::Event>,
 {
-    let groups = group_segment(g, &seg.records);
-    let mut emits = Vec::with_capacity(groups.len());
-    let mut stats = ExploreStats::default();
-    let mut tally = MapTally::default();
-    for (key, events) in groups {
-        let chain: SummaryChain<U::State> = if seg.id == 0 && cfg.first_segment_concrete {
-            // The globally first segment holds every present key's first
-            // chunk: run concretely from the true initial state (§2.2).
-            let state = run_concrete_state(uda, events.iter())?;
-            SummaryChain::single(Summary::singleton(state))
-        } else {
-            let mut exec = SymbolicExecutor::new(uda, cfg.engine);
-            exec.feed_all(events.iter())?;
-            let (chain, s) = exec.finish();
-            stats.records += s.records;
-            stats.runs += s.runs;
-            stats.forks += s.forks;
-            stats.merges += s.merges;
-            stats.restarts += s.restarts;
-            stats.max_live_paths = stats.max_live_paths.max(s.max_live_paths);
-            chain
-        };
-        let mut buf = Vec::new();
-        chain.encode(&mut buf);
-        tally.push(key.wire_len(), buf.len());
-        emits.push((key, buf));
-    }
-    Ok((emits, stats, tally))
+    let groups = sorted_groups(g, seg);
+    let Some(ctx) = ckpt else {
+        let (emits, stats, salvaged) = compute_chunk::<U, G::Key>(uda, seg.id, cfg, &groups)?;
+        return Ok(MapTaskOutput {
+            tally: tally_emits(&emits),
+            emits,
+            stats,
+            salvaged,
+            ckpt: CkptStatus::Absent,
+        });
+    };
+
+    let meta = FrameMeta {
+        chunk_index: seg.id as u64,
+        config_hash: config_fingerprint(cfg),
+        input_digest: input_digest(&groups),
+    };
+    let status = match lookup_chunk(ctx, &meta) {
+        ChunkLookup::Hit(payload) => match decode_checkpoint_payload::<G::Key>(&payload) {
+            Ok((emits, stats, salvaged)) => {
+                return Ok(MapTaskOutput {
+                    tally: tally_emits(&emits),
+                    emits,
+                    stats,
+                    salvaged,
+                    ckpt: CkptStatus::Hit,
+                });
+            }
+            Err(e) => {
+                // The frame survived CRC + metadata checks but its payload
+                // does not parse — treat exactly like corruption: never
+                // trust, never silently delete, recompute.
+                ctx.store.quarantine(
+                    &ctx.job_id,
+                    meta.chunk_index,
+                    &format!("payload decode: {e}"),
+                );
+                CkptStatus::Corrupt
+            }
+        },
+        ChunkLookup::Miss => CkptStatus::Miss,
+        ChunkLookup::Corrupt => CkptStatus::Corrupt,
+    };
+    let (emits, stats, salvaged) = compute_chunk::<U, G::Key>(uda, seg.id, cfg, &groups)?;
+    save_chunk(
+        ctx,
+        &meta,
+        &encode_checkpoint_payload(&emits, &stats, salvaged),
+    );
+    Ok(MapTaskOutput {
+        tally: tally_emits(&emits),
+        emits,
+        stats,
+        salvaged,
+        ckpt: status,
+    })
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::baseline::run_baseline;
+    use crate::checkpoint::{CheckpointStore, MemCheckpointStore};
     use crate::segment::split_into_segments;
     use symple_core::ctx::SymCtx;
     use symple_core::impl_sym_state;
@@ -395,5 +774,154 @@ mod tests {
         let single = vec![SummaryChain::single(Summary::singleton(template.clone()))];
         let state = collapse_chains(&single, &template).unwrap();
         assert_eq!(extract_result(&RunsUda, &state).unwrap(), Vec::<i64>::new());
+    }
+
+    #[test]
+    fn salvaged_concrete_composes_at_chain_boundaries_both_orders() {
+        // Satellite: a `NeedsConcrete` chunk adjacent to an *empty* chain
+        // must compose correctly in both orders, under both reduce
+        // strategies. The empty chain contributes nothing; the salvaged
+        // events must see exactly the running prefix state.
+        let uda = RunsUda;
+        let template = uda.init();
+        let events: Vec<i64> = vec![2, 4, 6, 8, 1, 2, 3];
+        let expect =
+            extract_result(&uda, &run_concrete_state(&uda, events.iter()).unwrap()).unwrap();
+
+        let empty_chain = encode_chain_payload(&SummaryChain::<RunsState>::new(vec![]));
+        let events_payload = encode_events_payload(&events);
+
+        for strategy in [ReduceStrategy::ApplyInOrder, ReduceStrategy::TreeCompose] {
+            // Empty chain first, then the salvaged chunk.
+            let payloads: Vec<&[u8]> = vec![&empty_chain, &events_payload];
+            let state = compose_payloads(&uda, &template, &payloads, strategy).unwrap();
+            assert_eq!(
+                extract_result(&uda, &state).unwrap(),
+                expect,
+                "empty-then-concrete, {strategy:?}"
+            );
+
+            // Salvaged chunk first, then the empty chain.
+            let payloads: Vec<&[u8]> = vec![&events_payload, &empty_chain];
+            let state = compose_payloads(&uda, &template, &payloads, strategy).unwrap();
+            assert_eq!(
+                extract_result(&uda, &state).unwrap(),
+                expect,
+                "concrete-then-empty, {strategy:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn salvaged_between_real_chains_matches_sequential() {
+        // chain(prefix) → NeedsConcrete(middle) → chain(suffix) equals
+        // one sequential pass, under both strategies.
+        let uda = RunsUda;
+        let template = uda.init();
+        let prefix: Vec<i64> = vec![2, 4, 1];
+        let middle: Vec<i64> = vec![2, 2, 2, 2, 3];
+        let suffix: Vec<i64> = vec![6, 8, 10, 5];
+        let all: Vec<i64> = prefix
+            .iter()
+            .chain(&middle)
+            .chain(&suffix)
+            .copied()
+            .collect();
+        let expect = extract_result(&uda, &run_concrete_state(&uda, all.iter()).unwrap()).unwrap();
+
+        let cfg = symple_core::engine::EngineConfig::default();
+        let prefix_chain = {
+            let mut exec = SymbolicExecutor::new(&uda, cfg);
+            exec.feed_all(prefix.iter()).unwrap();
+            encode_chain_payload(&exec.finish().0)
+        };
+        let suffix_chain = {
+            let mut exec = SymbolicExecutor::new(&uda, cfg);
+            exec.feed_all(suffix.iter()).unwrap();
+            encode_chain_payload(&exec.finish().0)
+        };
+        let middle_events = encode_events_payload(&middle);
+
+        for strategy in [ReduceStrategy::ApplyInOrder, ReduceStrategy::TreeCompose] {
+            let payloads: Vec<&[u8]> = vec![&prefix_chain, &middle_events, &suffix_chain];
+            let state = compose_payloads(&uda, &template, &payloads, strategy).unwrap();
+            assert_eq!(
+                extract_result(&uda, &state).unwrap(),
+                expect,
+                "{strategy:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn refused_chunks_salvage_instead_of_failing() {
+        // A path bound of 1 makes every symbolic fork refuse; with salvage
+        // on (the default) the job must still match the baseline, with the
+        // salvage counted. With salvage off it must surface the refusal.
+        let records: Vec<i64> = (0..400).map(|i| (i * 13 + 7) % 97).collect();
+        let segments = split_into_segments(&records, 6, 64);
+        let mut cfg = JobConfig::default();
+        cfg.engine.max_paths_per_record = 1;
+
+        let base = run_baseline(&ByMod, &RunsUda, &segments, &cfg).unwrap();
+        let sym = run_symple(&ByMod, &RunsUda, &segments, &cfg).unwrap();
+        assert_eq!(base.results, sym.results);
+        assert!(
+            sym.metrics.chunks_salvaged_concrete > 0,
+            "expected refusals under max_paths_per_record = 1"
+        );
+
+        cfg.salvage_refused_chunks = false;
+        let hard = run_symple(&ByMod, &RunsUda, &segments, &cfg);
+        assert!(
+            matches!(hard, Err(Error::PathExplosion { .. })),
+            "salvage off must restore hard failure, got {hard:?}"
+        );
+    }
+
+    #[test]
+    fn checkpointed_rerun_hits_every_chunk() {
+        let records: Vec<i64> = (0..600).map(|i| (i * 29 + 11) % 131).collect();
+        let segments = split_into_segments(&records, 5, 64);
+        let cfg = JobConfig::default();
+        let store = MemCheckpointStore::new();
+        let ctx = CheckpointCtx::new(&store, "unit-job");
+
+        let clean = run_symple(&ByMod, &RunsUda, &segments, &cfg).unwrap();
+        let first = run_symple_checkpointed(&ByMod, &RunsUda, &segments, &cfg, &ctx).unwrap();
+        assert_eq!(first.metrics.checkpoint_misses, segments.len() as u64);
+        assert_eq!(first.metrics.checkpoint_hits, 0);
+
+        let second = run_symple_checkpointed(&ByMod, &RunsUda, &segments, &cfg, &ctx).unwrap();
+        assert_eq!(second.metrics.checkpoint_hits, segments.len() as u64);
+        assert_eq!(second.metrics.checkpoint_misses, 0);
+
+        // All three runs byte-identical.
+        for out in [&first, &second] {
+            assert_eq!(out.results, clean.results);
+            assert_eq!(out.metrics.shuffle_bytes, clean.metrics.shuffle_bytes);
+            assert_eq!(out.metrics.summary_bytes, clean.metrics.summary_bytes);
+            assert_eq!(out.metrics.explore.records, clean.metrics.explore.records);
+        }
+    }
+
+    #[test]
+    fn stale_engine_config_forces_recompute() {
+        let records: Vec<i64> = (0..300).map(|i| (i * 7 + 1) % 61).collect();
+        let segments = split_into_segments(&records, 4, 64);
+        let mut cfg = JobConfig::default();
+        let store = MemCheckpointStore::new();
+        let ctx = CheckpointCtx::new(&store, "stale-job");
+
+        run_symple_checkpointed(&ByMod, &RunsUda, &segments, &cfg, &ctx).unwrap();
+
+        // Change an engine knob: every stored frame is now stale.
+        cfg.engine.max_total_paths += 1;
+        let out = run_symple_checkpointed(&ByMod, &RunsUda, &segments, &cfg, &ctx).unwrap();
+        assert_eq!(out.metrics.checkpoint_hits, 0);
+        assert_eq!(out.metrics.checkpoint_corrupt, segments.len() as u64);
+        assert_eq!(store.quarantined("stale-job").len(), segments.len());
+        let clean = run_symple(&ByMod, &RunsUda, &segments, &cfg).unwrap();
+        assert_eq!(out.results, clean.results);
     }
 }

@@ -28,8 +28,10 @@ OPTIONS:
     --seed <u64>          master seed for input generation (default 0)
     --case <ID>           sweep a single case (G1..G4, B1..B3, T1,
                           R1..R4, F1, GPS, OVF, RST, VEC)
-    --sabotage <KIND>     deliberately break the chunked executor:
-                          drop-last-event | reorder-chunks
+    --sabotage <KIND>     deliberately break an executor:
+                          drop-last-event | reorder-chunks (chunked)
+                          | stale-checkpoint (crash-resume: trust forged
+                          checkpoint frames, skipping metadata validation)
                           (self-test: the sweep must then FAIL)
     --analyze-first       run the static analyzer over each case first and
                           skip matrix cells it predicts the engine will
@@ -93,7 +95,11 @@ fn main() -> ExitCode {
             },
             "--sabotage" => match value(&mut i).as_deref().and_then(Sabotage::parse) {
                 Some(s) => opts.sabotage = s,
-                None => return usage_error("--sabotage needs drop-last-event or reorder-chunks"),
+                None => {
+                    return usage_error(
+                        "--sabotage needs drop-last-event, reorder-chunks, or stale-checkpoint",
+                    )
+                }
             },
             "--artifact-dir" => match value(&mut i) {
                 Some(d) => opts.artifact_dir = PathBuf::from(d),

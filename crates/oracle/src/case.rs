@@ -15,8 +15,9 @@ use symple_core::uda::{extract_result, run_concrete_state, run_sequential, summa
 use symple_core::wire::Wire;
 use symple_mapreduce::segment::split_into_segments;
 use symple_mapreduce::{
-    probe_fault_determinism, run_symple, run_symple_streaming, run_symple_with_faults,
-    FaultInjector, GroupBy,
+    probe_fault_determinism, run_symple, run_symple_checkpointed,
+    run_symple_checkpointed_with_faults, run_symple_streaming, run_symple_with_faults,
+    CheckpointCtx, FaultInjector, FaultPlan, GroupBy, JobOutput, MemCheckpointStore,
 };
 
 use crate::cell::{Cell, ExecutorKind, FaultKind};
@@ -38,6 +39,12 @@ pub enum Sabotage {
     /// Apply chunk summaries in reverse order (violates §3.6's ordered
     /// composition).
     ReorderChunks,
+    /// Resume a crash-resume cell from checkpoints recorded for a
+    /// *different* input while bypassing the frame-metadata validation
+    /// (`trust_frame_meta`) — exactly the bug the config-hash /
+    /// input-digest check exists to prevent. Affects
+    /// [`ExecutorKind::CrashResume`] cells only.
+    StaleCheckpoint,
 }
 
 impl Sabotage {
@@ -47,6 +54,7 @@ impl Sabotage {
             Sabotage::None => "none",
             Sabotage::DropLastEvent => "drop-last-event",
             Sabotage::ReorderChunks => "reorder-chunks",
+            Sabotage::StaleCheckpoint => "stale-checkpoint",
         }
     }
 
@@ -56,6 +64,7 @@ impl Sabotage {
             "none" => Sabotage::None,
             "drop-last-event" => Sabotage::DropLastEvent,
             "reorder-chunks" => Sabotage::ReorderChunks,
+            "stale-checkpoint" => Sabotage::StaleCheckpoint,
             _ => return None,
         })
     }
@@ -213,6 +222,7 @@ pub fn error_variant(e: &Error) -> &'static str {
         Error::Uda(_) => "Uda",
         Error::TaskPanicked { .. } => "TaskPanicked",
         Error::RetriesExhausted { .. } => "RetriesExhausted",
+        Error::JobKilled { .. } => "JobKilled",
     }
 }
 
@@ -334,7 +344,52 @@ where
         extract_result(&self.uda, &state)
     }
 
-    fn run_mapreduce(&self, events: Vec<U::Event>, cell: &Cell) -> String {
+    /// The crash-resume executor: run against a fresh in-memory checkpoint
+    /// store, kill the job after half its map tasks complete, then restart
+    /// from the same store. The rendered output is the *resumed* run's.
+    ///
+    /// Under [`Sabotage::StaleCheckpoint`] the store is instead seeded
+    /// with checkpoints from a run over a *different* input (tail event
+    /// dropped), and the resume bypasses frame-metadata validation — so
+    /// the stale summaries are trusted and the output goes wrong, which
+    /// the oracle must flag. With validation on (the production default),
+    /// the same stale frames are quarantined and recomputed.
+    fn run_crash_resume(
+        &self,
+        events: &[U::Event],
+        cell: &Cell,
+        sabotage: Sabotage,
+    ) -> Result<JobOutput<u8, U::Output>> {
+        let segments = split_into_segments(events, cell.chunks.max(1), 8);
+        let group = SingleKey::<U::Event>::new();
+        let job = cell.job();
+        let store = MemCheckpointStore::new();
+        let mut ctx = CheckpointCtx::new(&store, "oracle");
+
+        if sabotage == Sabotage::StaleCheckpoint {
+            let mut stale: Vec<U::Event> = events.to_vec();
+            stale.pop();
+            let stale_segments = split_into_segments(&stale, cell.chunks.max(1), 8);
+            let _ = run_symple_checkpointed(&group, &self.uda, &stale_segments, &job, &ctx);
+            ctx.trust_frame_meta = true;
+            return run_symple_checkpointed(&group, &self.uda, &segments, &job, &ctx);
+        }
+
+        // Phase 1: crash mid-job. The kill error is expected; a job small
+        // enough to finish before the kill fires simply leaves a full set
+        // of checkpoints for phase 2 to hit.
+        let injector = FaultInjector::new(FaultPlan {
+            kill_after_n_tasks: Some(segments.len() as u64 / 2),
+            ..FaultPlan::default()
+        });
+        let _ = run_symple_checkpointed_with_faults(
+            &group, &self.uda, &segments, &job, &injector, &ctx,
+        );
+        // Phase 2: restart from the surviving checkpoints.
+        run_symple_checkpointed(&group, &self.uda, &segments, &job, &ctx)
+    }
+
+    fn run_mapreduce(&self, events: Vec<U::Event>, cell: &Cell, sabotage: Sabotage) -> String {
         if events.is_empty() {
             return NO_GROUPS.to_string();
         }
@@ -343,6 +398,7 @@ where
         let job = cell.job();
         let out = match cell.executor {
             ExecutorKind::Streaming => run_symple_streaming(&group, &self.uda, &segments, &job),
+            ExecutorKind::CrashResume => self.run_crash_resume(&events, cell, sabotage),
             _ => match cell.faults {
                 FaultKind::None => run_symple(&group, &self.uda, &segments, &job),
                 plan => {
@@ -395,7 +451,7 @@ where
     fn run_cell(&self, input: &CaseInput, cell: &Cell, sabotage: Sabotage) -> String {
         let events = self.events(input);
         if cell.executor.is_mapreduce() {
-            self.run_mapreduce(events, cell)
+            self.run_mapreduce(events, cell, sabotage)
         } else {
             render(self.run_chunked(&events, cell, sabotage))
         }
@@ -510,6 +566,7 @@ mod tests {
             Sabotage::None,
             Sabotage::DropLastEvent,
             Sabotage::ReorderChunks,
+            Sabotage::StaleCheckpoint,
         ] {
             assert_eq!(Sabotage::parse(s.as_str()), Some(s));
         }

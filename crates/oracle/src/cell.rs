@@ -23,6 +23,11 @@ pub enum ExecutorKind {
     MapReduceTree,
     /// The streaming shuffle (mappers and reducers overlapped).
     Streaming,
+    /// The MapReduce job killed mid-flight after half its map tasks
+    /// complete, then resumed from an in-memory checkpoint store. The
+    /// rendered output is the *resumed* run's — the soundness theorem
+    /// plus durable summaries say it must equal an uninterrupted run.
+    CrashResume,
 }
 
 impl ExecutorKind {
@@ -33,6 +38,7 @@ impl ExecutorKind {
             ExecutorKind::MapReduce => "mapreduce",
             ExecutorKind::MapReduceTree => "mapreduce-tree",
             ExecutorKind::Streaming => "streaming",
+            ExecutorKind::CrashResume => "crash-resume",
         }
     }
 
@@ -43,6 +49,7 @@ impl ExecutorKind {
             "mapreduce" => ExecutorKind::MapReduce,
             "mapreduce-tree" => ExecutorKind::MapReduceTree,
             "streaming" => ExecutorKind::Streaming,
+            "crash-resume" => ExecutorKind::CrashResume,
             _ => return None,
         })
     }
@@ -202,6 +209,10 @@ impl Cell {
                 ReduceStrategy::ApplyInOrder
             },
             first_segment_concrete: self.first_segment_concrete,
+            // Salvage stays on so an engine refusal degrades to concrete
+            // re-execution in every executor: the matrix then compares
+            // Ok-vs-Ok instead of skipping the cell on a refusal.
+            salvage_refused_chunks: true,
             // Oracle tasks run in microseconds; default speculation knobs
             // (25 ms floor) never trigger, keeping retry counts exact.
             scheduler: symple_mapreduce::SchedulerConfig::default(),
@@ -265,6 +276,12 @@ pub fn smoke_matrix() -> Vec<Cell> {
             chunks: 3,
             ..base
         },
+        // Kill after half the map tasks, resume from checkpoints.
+        Cell {
+            executor: ExecutorKind::CrashResume,
+            chunks: 4,
+            ..base
+        },
     ]
 }
 
@@ -323,6 +340,18 @@ pub fn deep_matrix() -> Vec<Cell> {
             });
         }
     }
+    for &chunks in &[1usize, 4, 6] {
+        for &first_segment_concrete in &[true, false] {
+            cells.push(Cell {
+                executor: ExecutorKind::CrashResume,
+                chunks,
+                merge_policy: MergePolicy::HighWater,
+                max_total_paths: 8,
+                first_segment_concrete,
+                faults: FaultKind::None,
+            });
+        }
+    }
     cells
 }
 
@@ -337,6 +366,7 @@ mod tests {
             ExecutorKind::MapReduce,
             ExecutorKind::MapReduceTree,
             ExecutorKind::Streaming,
+            ExecutorKind::CrashResume,
         ] {
             assert_eq!(ExecutorKind::parse(e.as_str()), Some(e));
         }
@@ -366,6 +396,7 @@ mod tests {
                 ExecutorKind::MapReduce,
                 ExecutorKind::MapReduceTree,
                 ExecutorKind::Streaming,
+                ExecutorKind::CrashResume,
             ] {
                 assert!(m.iter().any(|c| c.executor == e), "{e:?} missing");
             }

@@ -422,6 +422,38 @@ mod tests {
     }
 
     #[test]
+    fn stale_checkpoint_sabotage_is_flagged_only_when_validation_is_bypassed() {
+        // OVF again: a plain sum, so resuming from checkpoints recorded
+        // for a tail-dropped input visibly changes the output.
+        let opts = OracleOptions {
+            case_filter: Some("OVF".into()),
+            ..quick_opts()
+        };
+        // With frame-metadata validation on (the production default), the
+        // crash-resume cells quarantine anything stale and recompute: the
+        // sweep is clean. This is the config-hash/input-digest check doing
+        // its job.
+        let clean = run_oracle(&opts);
+        assert!(clean.clean(), "findings: {:#?}", clean.findings);
+
+        // Bypassing the check (`trust_frame_meta`) while feeding the
+        // store frames from a different input must produce a wrong answer
+        // the oracle flags — and pins the finding to a crash-resume cell.
+        let report = run_oracle(&OracleOptions {
+            sabotage: Sabotage::StaleCheckpoint,
+            ..opts
+        });
+        assert!(
+            !report.clean(),
+            "stale-checkpoint sabotage must be detected"
+        );
+        assert!(report
+            .findings
+            .iter()
+            .any(|f| f.artifact.cell.executor == crate::cell::ExecutorKind::CrashResume));
+    }
+
+    #[test]
     fn analyze_first_is_a_no_op_on_a_well_behaved_case() {
         let base = run_oracle(&quick_opts());
         let analyzed = run_oracle(&OracleOptions {

@@ -18,8 +18,9 @@ use symple::core::Error;
 use symple::mapreduce::scheduler::AttemptOutcome;
 use symple::mapreduce::segment::split_into_segments;
 use symple::mapreduce::{
-    run_scheduled, run_symple, run_symple_with_faults, FaultInjector, FaultPlan, GroupBy,
-    JobConfig, SegmentFaults,
+    run_scheduled, run_symple, run_symple_checkpointed, run_symple_checkpointed_with_faults,
+    run_symple_with_faults, CheckpointCtx, FaultInjector, FaultPlan, GroupBy, JobConfig,
+    MemCheckpointStore, SegmentFaults,
 };
 
 struct ByKey;
@@ -125,6 +126,53 @@ proptest! {
         if injector.retries() + injector.panics() > 0 {
             prop_assert!(faulty.metrics.retry_wasted_cpu > Duration::ZERO);
         }
+    }
+
+    /// Crash at an arbitrary task boundary, then resume from the surviving
+    /// checkpoints: the resumed job is byte-identical to an uninterrupted
+    /// run — results, shuffle bytes, summary bytes — and the checkpoint
+    /// ledger balances: every chunk is exactly one of hit/miss/corrupt,
+    /// with hits equal to the tasks the killed run completed.
+    #[test]
+    fn crash_then_resume_is_byte_identical(
+        records in prop::collection::vec((0u8..5, -40i64..40), 1..220),
+        n_seg in 2usize..7,
+        kill_pick in 0u64..16,
+    ) {
+        let segs = split_into_segments(&records, n_seg, 32);
+        let cfg = JobConfig::default();
+        let clean = run_symple(&ByKey, &Resets, &segs, &cfg).unwrap();
+
+        let store = MemCheckpointStore::new();
+        let ctx = CheckpointCtx::new(&store, "fault-matrix");
+        // Any boundary, including 0 (die before any work) and >= task
+        // count (never fires; phase 1 completes and phase 2 hits fully).
+        let kill_after = kill_pick % (segs.len() as u64 + 2);
+        let injector = FaultInjector::new(FaultPlan {
+            kill_after_n_tasks: Some(kill_after),
+            ..FaultPlan::default()
+        });
+        let first =
+            run_symple_checkpointed_with_faults(&ByKey, &Resets, &segs, &cfg, &injector, &ctx);
+        if let Err(e) = &first {
+            prop_assert!(matches!(e, Error::JobKilled { .. }), "{e:?}");
+        }
+
+        let resumed = run_symple_checkpointed(&ByKey, &Resets, &segs, &cfg, &ctx).unwrap();
+        prop_assert_eq!(&clean.results, &resumed.results);
+        prop_assert_eq!(clean.metrics.shuffle_bytes, resumed.metrics.shuffle_bytes);
+        prop_assert_eq!(clean.metrics.shuffle_records, resumed.metrics.shuffle_records);
+        prop_assert_eq!(clean.metrics.summary_bytes, resumed.metrics.summary_bytes);
+        prop_assert_eq!(clean.metrics.explore.forks, resumed.metrics.explore.forks);
+
+        let m = &resumed.metrics;
+        prop_assert_eq!(
+            m.checkpoint_hits + m.checkpoint_misses + m.checkpoint_corrupt,
+            segs.len() as u64
+        );
+        prop_assert_eq!(m.checkpoint_corrupt, 0);
+        // Every task the killed run completed left a durable frame.
+        prop_assert_eq!(m.checkpoint_hits, injector.completed_tasks());
     }
 
     /// Scheduler-level ledger: `retries()` matches the attempt records the

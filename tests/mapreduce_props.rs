@@ -158,7 +158,7 @@ proptest! {
 
 // ------------------------------------------------------- metric folding
 
-/// A fully synthetic [`JobMetrics`] from 22 generated raw values, so the
+/// A fully synthetic [`JobMetrics`] from 26 generated raw values, so the
 /// additivity property exercises every field without wall clocks.
 fn metrics_from(raw: &[u64]) -> JobMetrics {
     let ms = |v: u64| Duration::from_millis(v);
@@ -179,6 +179,10 @@ fn metrics_from(raw: &[u64]) -> JobMetrics {
         speculative_launches: raw[19],
         speculative_wins: raw[20],
         retry_wasted_cpu: ms(raw[21]),
+        checkpoint_hits: raw[22],
+        checkpoint_misses: raw[23],
+        checkpoint_corrupt: raw[24],
+        chunks_salvaged_concrete: raw[25],
         explore: ExploreStats {
             records: raw[12],
             runs: raw[13],
@@ -197,9 +201,9 @@ proptest! {
     /// are counted once — never dropped, never double counted.
     #[test]
     fn fold_metrics_is_additive(
-        a_raw in prop::collection::vec(0u64..1_000_000, 22..23),
-        b_raw in prop::collection::vec(0u64..1_000_000, 22..23),
-        c_raw in prop::collection::vec(0u64..1_000_000, 22..23),
+        a_raw in prop::collection::vec(0u64..1_000_000, 26..27),
+        b_raw in prop::collection::vec(0u64..1_000_000, 26..27),
+        c_raw in prop::collection::vec(0u64..1_000_000, 26..27),
     ) {
         let (a, b) = (metrics_from(&a_raw), metrics_from(&b_raw));
         let f = fold_metrics(a, b);
@@ -223,6 +227,13 @@ proptest! {
         );
         prop_assert_eq!(f.speculative_wins, a.speculative_wins + b.speculative_wins);
         prop_assert_eq!(f.retry_wasted_cpu, a.retry_wasted_cpu + b.retry_wasted_cpu);
+        prop_assert_eq!(f.checkpoint_hits, a.checkpoint_hits + b.checkpoint_hits);
+        prop_assert_eq!(f.checkpoint_misses, a.checkpoint_misses + b.checkpoint_misses);
+        prop_assert_eq!(f.checkpoint_corrupt, a.checkpoint_corrupt + b.checkpoint_corrupt);
+        prop_assert_eq!(
+            f.chunks_salvaged_concrete,
+            a.chunks_salvaged_concrete + b.chunks_salvaged_concrete
+        );
         // Stage-1-owned, stage-2-owned, and bounding fields.
         prop_assert_eq!(f.input_records, a.input_records);
         prop_assert_eq!(f.input_bytes, a.input_bytes);
