@@ -26,7 +26,10 @@
 //! breaking change (the golden-file test pins the full report for the 12
 //! paper queries). Adding a new code at the end is fine.
 
+pub mod coverage;
 pub mod json;
+
+pub use coverage::{code_bit, diag_signature, DiagCoverage};
 
 use json::{obj, Json};
 use symple_core::{EngineConfig, MergePolicy, UdaAnalysis};

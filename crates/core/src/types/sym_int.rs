@@ -120,13 +120,42 @@ impl SymInt {
         (lo.min(hi), lo.max(hi))
     }
 
-    /// Fails the context if any feasible value exceeds the width.
-    fn check_width(&self, ctx: &mut SymCtx, op: &'static str) {
+    /// Enforces the width invariant after an arithmetic op.
+    ///
+    /// Narrow widths (< 64) refuse conservatively: if *any* feasible value
+    /// of `a·x + b` leaves the declared range, the chunk fails with
+    /// [`Error::ArithmeticOverflow`].
+    ///
+    /// Width 64 is the machine width, so the same conservative rule would
+    /// refuse every unguarded accumulation (the unknown `x` spans all of
+    /// `i64`). Instead the path constraint is *refined* to the entry
+    /// values for which `a·x + b` stays in `i64` — entry values that would
+    /// trap are then covered by no path, and summary application reports
+    /// them as an incomplete summary rather than silently returning a
+    /// value sequential execution never produces. (Found by the fuzzer:
+    /// an `x + huge` whose result was later overwritten yielded a wrong
+    /// `Ok` where the sequential run trapped mid-record.) If no feasible
+    /// entry value survives, the op fails outright.
+    fn check_width(&mut self, ctx: &mut SymCtx, op: &'static str) {
+        let (lo, hi) = self.value_bounds();
         if self.width >= 64 {
+            if self.a == 0 {
+                // Concrete: the checked op itself already trapped.
+                return;
+            }
+            if lo >= i64::MIN as i128 && hi <= i64::MAX as i128 {
+                return;
+            }
+            let safe = Interval::FULL.preimage_affine(self.a, self.b);
+            let refined = self.constraint.intersect(&safe);
+            if refined.is_empty() {
+                ctx.fail(Error::ArithmeticOverflow { op });
+            } else {
+                self.constraint = refined;
+            }
             return;
         }
         let r = self.width_range();
-        let (lo, hi) = self.value_bounds();
         if lo < r.lb as i128 || hi > r.ub as i128 {
             ctx.fail(Error::ArithmeticOverflow { op });
         }

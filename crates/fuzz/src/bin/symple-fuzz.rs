@@ -1,0 +1,213 @@
+//! Coverage-guided UDA fuzzer CLI.
+//!
+//! ```text
+//! symple-fuzz --smoke                        # CI gate: seed 0, 48 iterations, 60 s cap
+//! symple-fuzz --seed 7 --budget 500          # longer deterministic run
+//! symple-fuzz --smoke --sabotage drop-last-event   # self-test: must find a bug
+//! symple-fuzz --replay tests/corpus/repro-FUZZ-....txt
+//! ```
+//!
+//! Exit codes: `0` clean run / artifact no longer reproduces, `1`
+//! divergences found / artifact reproduced, `2` usage error.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use symple_fuzz::{run_fuzz, FuzzOptions};
+use symple_oracle::{Artifact, ReplayOutcome, Sabotage};
+
+const USAGE: &str = "\
+symple-fuzz: coverage-guided differential fuzzer for SYMPLE UDAs
+
+USAGE:
+    symple-fuzz --smoke [OPTIONS]           bounded CI run (seed 0, 48 iters, 60 s)
+    symple-fuzz [OPTIONS]                   run with explicit --seed/--budget
+    symple-fuzz --replay <ARTIFACT>         re-run a repro artifact
+
+OPTIONS:
+    --seed <u64>          master seed (default 0); same seed + budget =>
+                          same case sequence, coverage map, and findings
+    --budget <u64>        iteration budget (default 48)
+    --max-secs <u64>      wall-clock cap; truncates the run (default: none,
+                          60 with --smoke)
+    --sabotage <KIND>     deliberately break an executor:
+                          drop-last-event | reorder-chunks | stale-checkpoint
+                          (self-test: the run must then FAIL)
+    --artifact-dir <DIR>  where repro files go (default target/fuzz)
+    --no-artifacts        do not write repro files
+    --help                this text
+
+EXIT CODES:
+    0  clean run, or replayed artifact no longer reproduces
+    1  divergences found, or replayed artifact still reproduces
+    2  usage error";
+
+fn usage_error(msg: &str) -> ExitCode {
+    eprintln!("error: {msg}\n\n{USAGE}");
+    ExitCode::from(2)
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.iter().any(|a| a == "--help" || a == "-h") {
+        println!("{USAGE}");
+        return ExitCode::SUCCESS;
+    }
+
+    let mut opts = FuzzOptions::new();
+    let mut replay = None;
+
+    let mut i = 0;
+    while i < args.len() {
+        let arg = args[i].as_str();
+        let value = |i: &mut usize| -> Option<String> {
+            *i += 1;
+            args.get(*i).cloned()
+        };
+        match arg {
+            "--smoke" => {
+                // The CI preset; later flags may still override pieces.
+                opts.seed = 0;
+                opts.budget = 48;
+                opts.max_secs = Some(60);
+            }
+            "--replay" => match value(&mut i) {
+                Some(p) => replay = Some(PathBuf::from(p)),
+                None => return usage_error("--replay needs a file"),
+            },
+            "--seed" => match value(&mut i).and_then(|v| v.parse::<u64>().ok()) {
+                Some(s) => opts.seed = s,
+                None => return usage_error("--seed needs a u64"),
+            },
+            "--budget" => match value(&mut i).and_then(|v| v.parse::<u64>().ok()) {
+                Some(b) => opts.budget = b,
+                None => return usage_error("--budget needs a u64"),
+            },
+            "--max-secs" => match value(&mut i).and_then(|v| v.parse::<u64>().ok()) {
+                Some(s) => opts.max_secs = Some(s),
+                None => return usage_error("--max-secs needs a u64"),
+            },
+            "--sabotage" => match value(&mut i).as_deref().and_then(Sabotage::parse) {
+                Some(s) => opts.sabotage = s,
+                None => {
+                    return usage_error(
+                        "--sabotage needs drop-last-event, reorder-chunks, or stale-checkpoint",
+                    )
+                }
+            },
+            "--artifact-dir" => match value(&mut i) {
+                Some(d) => opts.artifact_dir = PathBuf::from(d),
+                None => return usage_error("--artifact-dir needs a path"),
+            },
+            "--no-artifacts" => opts.write_artifacts = false,
+            other => return usage_error(&format!("unknown argument {other:?}")),
+        }
+        i += 1;
+    }
+
+    if let Some(path) = replay {
+        return run_replay(&path);
+    }
+
+    println!(
+        "symple-fuzz: seed {}, budget {}{}{}",
+        opts.seed,
+        opts.budget,
+        opts.max_secs
+            .map(|s| format!(", max {s}s"))
+            .unwrap_or_default(),
+        if opts.sabotage != Sabotage::None {
+            format!(", SABOTAGE {}", opts.sabotage.as_str())
+        } else {
+            String::new()
+        },
+    );
+
+    let report = run_fuzz(&opts);
+    println!(
+        "ran {} iterations, {} differential comparisons; {} behavior classes, corpus {}",
+        report.iterations,
+        report.comparisons,
+        report.coverage.len(),
+        report.corpus_size,
+    );
+    let diag = report.coverage.diag_union();
+    println!(
+        "diagnostic coverage: {}/8 codes [{}]",
+        diag.len(),
+        diag.codes().join(", ")
+    );
+
+    if report.clean() {
+        println!("PASS: every generated case agreed with the sequential reference");
+        return ExitCode::SUCCESS;
+    }
+
+    if !report.interp_mismatches.is_empty() {
+        println!(
+            "FAIL: concrete reference interpreter disagreed with sequential \
+             execution on {} program(s):",
+            report.interp_mismatches.len()
+        );
+        for token in &report.interp_mismatches {
+            println!("  {token}");
+        }
+    }
+    if !report.findings.is_empty() {
+        println!("FAIL: {} finding(s)", report.findings.len());
+        for f in &report.findings {
+            println!();
+            println!(
+                "  [{}] {} — {}",
+                f.artifact.kind.as_str(),
+                f.artifact.program.as_deref().unwrap_or(&f.artifact.case),
+                f.artifact.cell.describe()
+            );
+            println!(
+                "    input: kind={} seed={} len={} kept={}",
+                f.artifact.input_kind.as_deref().unwrap_or("?"),
+                f.artifact.input.seed,
+                f.artifact.input.len,
+                f.artifact.input.kept_str()
+            );
+            println!("    expected: {}", f.artifact.expected);
+            println!("    actual:   {}", f.artifact.actual);
+            match &f.path {
+                Some(p) => println!("    repro: {}", p.display()),
+                None => println!("    repro: (not written)"),
+            }
+        }
+    }
+    ExitCode::FAILURE
+}
+
+fn run_replay(path: &PathBuf) -> ExitCode {
+    let text = match std::fs::read_to_string(path) {
+        Ok(t) => t,
+        Err(e) => return usage_error(&format!("cannot read {}: {e}", path.display())),
+    };
+    let artifact = match Artifact::parse(&text) {
+        Ok(a) => a,
+        Err(e) => return usage_error(&format!("cannot parse {}: {e}", path.display())),
+    };
+    println!(
+        "replaying {} ({} on {}, {})",
+        path.display(),
+        artifact.kind.as_str(),
+        artifact.program.as_deref().unwrap_or(&artifact.case),
+        artifact.cell.describe()
+    );
+    match artifact.replay() {
+        Ok(ReplayOutcome::Reproduced { expected, actual }) => {
+            println!("REPRODUCED");
+            println!("  expected: {expected}");
+            println!("  actual:   {actual}");
+            ExitCode::FAILURE
+        }
+        Ok(ReplayOutcome::NotReproduced { actual }) => {
+            println!("not reproduced — current tree agrees ({actual})");
+            ExitCode::SUCCESS
+        }
+        Err(e) => usage_error(&e),
+    }
+}

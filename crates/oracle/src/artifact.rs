@@ -60,6 +60,14 @@ pub struct Artifact {
     pub cell: Cell,
     /// Sabotage active when the finding was made.
     pub sabotage: Sabotage,
+    /// For generated (fuzz) cases: the serialized UDA program
+    /// ([`symple_core::ast::Program::to_token`]), making the artifact
+    /// self-contained — replay rebuilds the case from this token instead
+    /// of the case registry. `None` for registry cases.
+    pub program: Option<String>,
+    /// For generated cases: which adversarial input generator produced
+    /// the event stream. `None` for registry cases.
+    pub input_kind: Option<String>,
     /// Rendered reference output at write time (informational).
     pub expected: String,
     /// Rendered parallel output / violation at write time (informational).
@@ -84,6 +92,14 @@ impl Artifact {
         writeln!(s, "{HEADER}").unwrap();
         writeln!(s, "case: {}", self.case).unwrap();
         writeln!(s, "kind: {}", self.kind.as_str()).unwrap();
+        // Written only when present, so registry artifacts are
+        // byte-identical to the pre-fuzzer format.
+        if let Some(p) = &self.program {
+            writeln!(s, "program: {p}").unwrap();
+        }
+        if let Some(k) = &self.input_kind {
+            writeln!(s, "input-kind: {k}").unwrap();
+        }
         writeln!(s, "seed: {}", self.input.seed).unwrap();
         writeln!(s, "len: {}", self.input.len).unwrap();
         writeln!(s, "kept: {kept}").unwrap();
@@ -125,6 +141,8 @@ impl Artifact {
         let mut first_segment_concrete = None;
         let mut faults = None;
         let mut sabotage = None;
+        let mut program = None;
+        let mut input_kind = None;
         let mut expected = String::new();
         let mut actual = String::new();
 
@@ -162,6 +180,8 @@ impl Artifact {
                 }
                 "faults" => faults = Some(FaultKind::parse(value).ok_or_else(bad)?),
                 "sabotage" => sabotage = Some(Sabotage::parse(value).ok_or_else(bad)?),
+                "program" => program = Some(value.to_string()),
+                "input-kind" => input_kind = Some(value.to_string()),
                 "expected" => expected = value.to_string(),
                 "actual" => actual = value.to_string(),
                 _ => {}
@@ -187,6 +207,8 @@ impl Artifact {
                 faults: faults.ok_or_else(|| missing("faults"))?,
             },
             sabotage: sabotage.ok_or_else(|| missing("sabotage"))?,
+            program,
+            input_kind,
             expected,
             actual,
         })
@@ -195,7 +217,13 @@ impl Artifact {
     /// Re-runs the artifact's case and reports whether the disagreement
     /// still reproduces on the current tree.
     pub fn replay(&self) -> std::result::Result<ReplayOutcome, String> {
-        let case = case_by_id(&self.case).ok_or_else(|| format!("unknown case: {}", self.case))?;
+        // An embedded program takes precedence over the registry: fuzz
+        // artifacts stay replayable even though their case was generated.
+        let case = match &self.program {
+            Some(token) => crate::fuzz_case::replay_case(token, self.input_kind.as_deref())
+                .map_err(|e| format!("bad embedded program: {e}"))?,
+            None => case_by_id(&self.case).ok_or_else(|| format!("unknown case: {}", self.case))?,
+        };
         match self.kind {
             ReproKind::Mismatch => {
                 let expected = case.run_reference(&self.input);
@@ -251,6 +279,8 @@ mod tests {
                 faults: FaultKind::FailTwice,
             },
             sabotage: Sabotage::DropLastEvent,
+            program: None,
+            input_kind: None,
             expected: "Ok(3)".into(),
             actual: "Ok(2)".into(),
         }
@@ -289,6 +319,8 @@ mod tests {
             input: CaseInput::full(7, 24),
             cell: Cell::default_chunked(3),
             sabotage: Sabotage::None,
+            program: None,
+            input_kind: None,
             expected: String::new(),
             actual: String::new(),
         };
@@ -306,6 +338,8 @@ mod tests {
             input: CaseInput::full(7, 24),
             cell: Cell::default_chunked(3),
             sabotage: Sabotage::ReorderChunks,
+            program: None,
+            input_kind: None,
             expected: String::new(),
             actual: String::new(),
         };
@@ -320,6 +354,42 @@ mod tests {
     fn unknown_case_is_an_error() {
         let mut a = sample();
         a.case = "NOPE".into();
+        assert!(a.replay().is_err());
+    }
+
+    #[test]
+    fn registry_artifact_format_is_unchanged() {
+        // `program:`/`input-kind:` lines appear only for fuzz cases, so
+        // pre-fuzzer artifacts (and their byte-level format) still parse
+        // and render identically.
+        let text = sample().render("[]");
+        assert!(!text.contains("program:"));
+        assert!(!text.contains("input-kind:"));
+    }
+
+    #[test]
+    fn embedded_program_round_trips_and_replays() {
+        let mut a = sample();
+        a.case = "FUZZ".into();
+        a.cell = Cell::default_chunked(3);
+        a.sabotage = Sabotage::None;
+        a.program = Some("fields[i32=0] body[(iadd 0 ev)]".into());
+        a.input_kind = Some("uniform".into());
+        let text = a.render("[]");
+        let parsed = Artifact::parse(&text).unwrap();
+        assert_eq!(parsed, a);
+        // Replay resolves the case from the embedded token, not the
+        // registry, and a plain sum is sound — not reproduced.
+        assert!(matches!(
+            parsed.replay().unwrap(),
+            ReplayOutcome::NotReproduced { .. }
+        ));
+    }
+
+    #[test]
+    fn bad_embedded_program_is_an_error() {
+        let mut a = sample();
+        a.program = Some("fields[] body[".into());
         assert!(a.replay().is_err());
     }
 }

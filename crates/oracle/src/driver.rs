@@ -44,6 +44,12 @@ pub struct OracleOptions {
     /// signal — the engine gives up instead of answering — so those cells
     /// only burn time growing paths up to the bound before erroring.
     pub analyze_first: bool,
+    /// Override the swept matrix (`None` uses the depth's standard
+    /// matrix). The fuzzer sweeps each generated case against a small
+    /// focused matrix instead of the full smoke/deep grid.
+    pub matrix: Option<Vec<Cell>>,
+    /// Override the swept input lengths (`None` uses the depth defaults).
+    pub lens: Option<Vec<usize>>,
 }
 
 impl OracleOptions {
@@ -59,6 +65,8 @@ impl OracleOptions {
             write_artifacts: true,
             max_findings_per_case: 2,
             analyze_first: false,
+            matrix: None,
+            lens: None,
         }
     }
 }
@@ -146,17 +154,29 @@ fn probe_cells(matrix: &[Cell]) -> (Vec<Cell>, Vec<Cell>) {
     (summary, fault)
 }
 
-/// Runs the sweep. Deterministic: same options → same report.
+/// Runs the sweep over the registry cases. Deterministic: same options →
+/// same report.
 pub fn run_oracle(opts: &OracleOptions) -> OracleReport {
+    run_oracle_on(&all_cases(), opts)
+}
+
+/// Runs the sweep over an explicit case list — the pluggable entry point
+/// the fuzzer uses to sweep generated cases through the same driver,
+/// shrinker, and artifact machinery as the registry.
+pub fn run_oracle_on(cases: &[Box<dyn DynCase>], opts: &OracleOptions) -> OracleReport {
     let _sweep_span = symple_obs::span("oracle.sweep");
     let mut report = OracleReport::default();
-    let matrix = match opts.depth {
+    let matrix = opts.matrix.clone().unwrap_or_else(|| match opts.depth {
         Depth::Smoke => smoke_matrix(),
         Depth::Deep => deep_matrix(),
-    };
+    });
+    let lens = opts
+        .lens
+        .clone()
+        .unwrap_or_else(|| input_lens(opts.depth).to_vec());
     let (summary_cells, fault_cells) = probe_cells(&matrix);
 
-    for case in all_cases() {
+    for case in cases {
         if let Some(filter) = &opts.case_filter {
             if case.id() != filter {
                 continue;
@@ -173,7 +193,7 @@ pub fn run_oracle(opts: &OracleOptions) -> OracleReport {
         let mut rng = Rng64::seed_from_u64(opts.seed ^ fnv1a(case.id()));
         let mut case_findings = 0usize;
 
-        for &len in input_lens(opts.depth) {
+        for &len in &lens {
             if case_findings >= opts.max_findings_per_case {
                 break;
             }
@@ -327,6 +347,8 @@ fn build_finding(
         input: min_input,
         cell: min_cell,
         sabotage,
+        program: case.program_token(),
+        input_kind: case.input_kind_token(),
         expected,
         actual,
     };

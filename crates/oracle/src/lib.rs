@@ -31,11 +31,13 @@ pub mod case;
 pub mod cases;
 pub mod cell;
 pub mod driver;
+pub mod fuzz_case;
 pub mod shrink;
 
 pub use artifact::{Artifact, ReplayOutcome, ReproKind};
 pub use case::{CaseInput, DynCase, Sabotage, NO_GROUPS};
 pub use cases::{all_cases, case_by_id};
 pub use cell::{deep_matrix, smoke_matrix, Cell, ExecutorKind, FaultKind};
-pub use driver::{run_oracle, Depth, Finding, OracleOptions, OracleReport};
+pub use driver::{run_oracle, run_oracle_on, Depth, Finding, OracleOptions, OracleReport};
+pub use fuzz_case::{program_case, replay_case, InputKind, FUZZ_CASE_ID};
 pub use shrink::shrink_case;

@@ -30,9 +30,12 @@ fn shrink_input(input: &CaseInput, cell: &Cell, fails: Fails) -> CaseInput {
         .unwrap_or_else(|| (0..input.len).collect());
 
     // Coarse pass: repeatedly try dropping contiguous blocks, halving the
-    // block size whenever no block can be dropped.
+    // block size whenever no block can be dropped. Terminates because
+    // every iteration either shrinks `kept` or shrinks `block`, and a
+    // dropless singles pass (block == 1) is a fixpoint. An already-empty
+    // kept set is a fixpoint too — nothing to drop.
     let mut block = kept.len().div_ceil(2).max(1);
-    while block >= 1 && !kept.is_empty() {
+    while !kept.is_empty() {
         let mut start = 0;
         let mut dropped_any = false;
         while start < kept.len() {
@@ -46,14 +49,15 @@ fn shrink_input(input: &CaseInput, cell: &Cell, fails: Fails) -> CaseInput {
                 start = end;
             }
         }
-        if block == 1 && !dropped_any {
-            break;
+        if !dropped_any {
+            if block == 1 {
+                break;
+            }
+            block /= 2;
         }
-        block = if dropped_any { block } else { block / 2 }.max(1);
-        if !dropped_any && block == 1 {
-            // One final singles pass happens via the loop above; if it
-            // dropped nothing we are at a fixpoint.
-        }
+        // After drops, `kept` may now be shorter than `block`; the inner
+        // pass clamps `end`, so an oversized block degrades to one
+        // drop-everything attempt rather than an out-of-bounds slice.
     }
     with_kept(input, kept)
 }
@@ -180,6 +184,66 @@ mod tests {
         assert_eq!(min_cell.merge_policy, MergePolicy::HighWater);
         assert_eq!(min_cell.max_total_paths, 8);
         assert!(min_cell.first_segment_concrete);
+    }
+
+    #[test]
+    fn zero_length_input_terminates_immediately() {
+        // A generated case can fail on the empty stream (e.g. a result
+        // extractor that errors on init state). There is nothing to drop
+        // and nothing to loop on.
+        let calls = std::cell::Cell::new(0u32);
+        let fails = |_: &CaseInput, _: &Cell| {
+            calls.set(calls.get() + 1);
+            true
+        };
+        let (min_input, min_cell) =
+            shrink_case(&CaseInput::full(1, 0), &Cell::default_chunked(4), &fails);
+        assert_eq!(min_input.effective_len(), 0);
+        assert_eq!(min_cell.chunks, 1);
+        // Knob minimization probes a handful of cells; the input passes
+        // must not contribute unbounded work.
+        assert!(calls.get() < 32, "shrinker looped: {} calls", calls.get());
+    }
+
+    #[test]
+    fn already_empty_kept_set_is_a_fixpoint() {
+        let fails = |_: &CaseInput, _: &Cell| true;
+        let start = CaseInput {
+            seed: 5,
+            len: 40,
+            kept: Some(vec![]),
+        };
+        let (min_input, _) = shrink_case(&start, &Cell::default_chunked(3), &fails);
+        assert_eq!(min_input.kept, Some(vec![]));
+    }
+
+    #[test]
+    fn single_chunk_cell_skips_chunk_minimization() {
+        // chunks == 1 leaves the chunk loop with an empty range; the cell
+        // must come back untouched rather than looping or panicking.
+        let fails = |i: &CaseInput, _: &Cell| events_of(i).contains(&0);
+        let cell = Cell::default_chunked(1);
+        let (min_input, min_cell) = shrink_case(&CaseInput::full(0, 8), &cell, &fails);
+        assert_eq!(min_cell.chunks, 1);
+        assert_eq!(min_input.kept, Some(vec![0]));
+    }
+
+    #[test]
+    fn already_minimal_repro_terminates_without_change() {
+        // Fails only when *every* event is present: no subset can be
+        // dropped, so ddmin must converge to the full kept set after one
+        // dropless singles pass — bounded work, no infinite loop.
+        let calls = std::cell::Cell::new(0u32);
+        let fails = |i: &CaseInput, _c: &Cell| {
+            calls.set(calls.get() + 1);
+            events_of(i).len() == 6
+        };
+        let (min_input, _) = shrink_case(&CaseInput::full(2, 6), &Cell::default_chunked(2), &fails);
+        assert_eq!(min_input.effective_len(), 6);
+        // Worst case is O(n²) probes for n=6 plus knob probes — anything
+        // runaway (the old dead-block structure risked re-looping) blows
+        // well past this.
+        assert!(calls.get() < 200, "shrinker looped: {} calls", calls.get());
     }
 
     #[test]

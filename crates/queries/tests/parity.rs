@@ -1,0 +1,116 @@
+//! Differential parity across the whole query registry on degenerate and
+//! adversarial scales: every backend must reproduce the sequential
+//! reference bit-for-bit (order-independent output fingerprint) on
+//! empty input, a single record, and a maximally skewed stream.
+//!
+//! The per-record fuzz loop covers generated UDAs; this suite is the
+//! matching net under the twelve hand-written paper queries, whose
+//! group-by plumbing and datetime parsing the generator cannot reach.
+
+use symple_mapreduce::JobConfig;
+use symple_queries::{all_queries, Backend, DataScale};
+
+/// The three shapes the oracle's input sweep considers most likely to
+/// expose composition bugs, translated to query scales.
+fn shapes() -> Vec<(&'static str, DataScale)> {
+    let base = DataScale {
+        records: 0,
+        groups: 1,
+        segments: 4,
+        seed: 11,
+        parse_lines: false,
+    };
+    vec![
+        // No records at all: every segment is empty, reducers see nothing.
+        ("empty", base),
+        // One record: exactly one chunk has work; summary composition is
+        // all identity frames around a single update.
+        ("single-record", DataScale { records: 1, ..base }),
+        // Skew: thousands of records collapsing onto one group — one hot
+        // reducer key composing many per-segment summaries, while other
+        // reducers stay empty.
+        (
+            "skewed",
+            DataScale {
+                records: 2_000,
+                groups: 1,
+                segments: 7,
+                ..base
+            },
+        ),
+    ]
+}
+
+#[test]
+fn all_queries_all_backends_agree_on_degenerate_shapes() {
+    let job = JobConfig::default();
+    let queries = all_queries();
+    assert_eq!(queries.len(), 12);
+    for (shape, scale) in shapes() {
+        for q in &queries {
+            let id = q.info().id;
+            let reference = q
+                .run(&scale, Backend::Sequential, &job)
+                .unwrap_or_else(|e| panic!("{id}/{shape}: sequential failed: {e:?}"));
+            for backend in [Backend::Baseline, Backend::SortedBaseline, Backend::Symple] {
+                let got = q
+                    .run(&scale, backend, &job)
+                    .unwrap_or_else(|e| panic!("{id}/{shape}: {} failed: {e:?}", backend.label()));
+                assert_eq!(
+                    got.output_hash,
+                    reference.output_hash,
+                    "{id}/{shape}: {} output diverged from sequential",
+                    backend.label()
+                );
+                assert_eq!(
+                    got.output_rows,
+                    reference.output_rows,
+                    "{id}/{shape}: {} row count diverged from sequential",
+                    backend.label()
+                );
+            }
+        }
+    }
+}
+
+/// Empty input produces empty output everywhere — no phantom groups from
+/// generator or parser setup.
+#[test]
+fn empty_input_produces_no_rows() {
+    let job = JobConfig::default();
+    let scale = DataScale {
+        records: 0,
+        groups: 5,
+        segments: 3,
+        seed: 1,
+        parse_lines: false,
+    };
+    for q in all_queries() {
+        let id = q.info().id;
+        for backend in Backend::ALL {
+            let got = q.run(&scale, backend, &job).unwrap();
+            assert_eq!(got.output_rows, 0, "{id}: {}", backend.label());
+        }
+    }
+}
+
+/// More segments than records: most mappers receive nothing, and their
+/// identity summaries must compose away.
+#[test]
+fn more_segments_than_records() {
+    let job = JobConfig::default();
+    let scale = DataScale {
+        records: 3,
+        groups: 2,
+        segments: 9,
+        seed: 23,
+        parse_lines: false,
+    };
+    for q in all_queries() {
+        let id = q.info().id;
+        let reference = q.run(&scale, Backend::Sequential, &job).unwrap();
+        let sym = q.run(&scale, Backend::Symple, &job).unwrap();
+        assert_eq!(sym.output_hash, reference.output_hash, "{id}");
+        assert_eq!(sym.output_rows, reference.output_rows, "{id}");
+    }
+}
