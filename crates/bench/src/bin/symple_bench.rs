@@ -11,6 +11,9 @@
 //! symple-bench --baseline BASE [CURRENT] [--threshold P] diff, exit 1 on regressions
 //! ```
 //!
+//! `--warm-fraction F` (default 0.10) tunes the incremental-resweep gate:
+//! a warm rerun after a ~1% append must cost at most `F` of the cold run.
+//!
 //! `--smoke` measures a 4-query subset at small scale (the CI job);
 //! `--obs` additionally enables the tracing layer and prints its span /
 //! counter snapshot to stderr. The default output file is
@@ -50,6 +53,7 @@ struct Opts {
     current: Option<String>,
     validate: Option<String>,
     threshold: f64,
+    warm_fraction: f64,
     obs: bool,
 }
 
@@ -62,6 +66,7 @@ fn parse_args() -> Result<Opts, String> {
         current: None,
         validate: None,
         threshold: DEFAULT_THRESHOLD,
+        warm_fraction: WARM_GATE_FRACTION,
         obs: false,
     };
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -106,6 +111,15 @@ fn parse_args() -> Result<Opts, String> {
                 opts.threshold = need(&args, i, "--threshold")?
                     .parse()
                     .map_err(|e| format!("--threshold: {e}"))?;
+                i += 1;
+            }
+            "--warm-fraction" => {
+                opts.warm_fraction = need(&args, i, "--warm-fraction")?
+                    .parse()
+                    .map_err(|e| format!("--warm-fraction: {e}"))?;
+                if !(opts.warm_fraction > 0.0 && opts.warm_fraction <= 1.0) {
+                    return Err("--warm-fraction must be in (0, 1]".into());
+                }
                 i += 1;
             }
             "--help" | "-h" => {
@@ -324,11 +338,12 @@ fn measure_and_emit(opts: &Opts) -> ExitCode {
         eprintln!("--- obs snapshot ---\n{}", snap.render());
     }
     if opts.smoke {
-        // Run both gates so a failure in the first still reports the
-        // second's numbers.
+        // Run every gate so a failure in one still reports the others'
+        // numbers.
         let scheduler_ok = scheduler_overhead_gate(records);
         let checkpoint_ok = checkpoint_overhead_gate(records);
-        if !(scheduler_ok && checkpoint_ok) {
+        let cache_ok = summary_cache_gates(records, opts.warm_fraction);
+        if !(scheduler_ok && checkpoint_ok && cache_ok) {
             return ExitCode::FAILURE;
         }
     }
@@ -546,4 +561,242 @@ fn checkpoint_overhead_gate(records: usize) -> bool {
         println!("checkpoint overhead gate: FAILED");
         false
     }
+}
+
+/// Gates (smoke mode only) for the content-addressed summary cache.
+///
+/// Two checks against the same fixture job:
+///
+/// 1. **All-miss overhead** — a cold cached run against the on-disk cache
+///    (every chunk computed, framed, CRC'd, written, renamed) must cost
+///    ≤ [`OVERHEAD_GATE_PCT`] wall time relative to the same job without a
+///    cache, exactly like the checkpoint write-path gate.
+/// 2. **Incremental resweep** — after the log grows by ~1%, the warm
+///    resweep must cost ≤ `warm_fraction` of the cold run's wall time
+///    (default [`WARM_GATE_FRACTION`], `--warm-fraction` to override):
+///    content-defined chunking confines the append to the tail, so the
+///    sweep only pays for the dirty chunks plus cache reads.
+///
+/// Both sides of each comparison are interleaved across rounds and
+/// min-reduced, like the other gates. Every cold round uses a fresh cache
+/// directory so it really pays the all-miss write path.
+const WARM_GATE_FRACTION: f64 = 0.10;
+
+fn summary_cache_gates(records: usize, warm_fraction: f64) -> bool {
+    use symple_core::ctx::SymCtx;
+    use symple_core::frame::fnv1a;
+    use symple_core::types::{sym_int::SymInt, sym_pred::SymPred};
+    use symple_core::uda::Uda;
+    use symple_mapreduce::{
+        run_symple, run_symple_cached, Dataset, DiskSummaryCache, GroupBy, SummaryCacheCtx,
+    };
+
+    struct GateGroup;
+    impl GroupBy for GateGroup {
+        type Record = (u8, i64);
+        type Key = u8;
+        type Event = i64;
+        fn extract(&self, r: &(u8, i64)) -> Option<(u8, i64)> {
+            Some(*r)
+        }
+    }
+
+    /// Same session-ish shape as the checkpoint gate's fixture, but with
+    /// several symbolic registers per event: the resweep gate measures
+    /// recompute *avoidance*, so per-event UDA work must dominate the
+    /// per-chunk lookup cost (grouping + digesting) a warm run still pays
+    /// — the regime SYMPLE targets.
+    struct GateUda;
+    #[derive(Clone, Debug)]
+    struct GateState {
+        sum: SymInt,
+        steps: SymInt,
+        pos: SymInt,
+        neg: SymInt,
+        lo: SymInt,
+        hi: SymInt,
+        runs: SymInt,
+        churn: SymInt,
+        prev: SymPred<i64>,
+        drop: SymPred<i64>,
+    }
+    symple_core::impl_sym_state!(GateState {
+        sum,
+        steps,
+        pos,
+        neg,
+        lo,
+        hi,
+        runs,
+        churn,
+        prev,
+        drop
+    });
+    impl Uda for GateUda {
+        type State = GateState;
+        type Event = i64;
+        type Output = i64;
+        fn init(&self) -> GateState {
+            GateState {
+                sum: SymInt::new(0),
+                steps: SymInt::new(0),
+                pos: SymInt::new(0),
+                neg: SymInt::new(0),
+                lo: SymInt::new(0),
+                hi: SymInt::new(0),
+                runs: SymInt::new(0),
+                churn: SymInt::new(0),
+                prev: SymPred::new(|p: &i64, c: &i64| c > p),
+                drop: SymPred::new(|p: &i64, c: &i64| c + 10 < *p),
+            }
+        }
+        fn update(&self, s: &mut GateState, ctx: &mut SymCtx, e: &i64) {
+            s.sum.add(ctx, *e);
+            s.churn.add(ctx, e.rem_euclid(7));
+            if s.prev.eval(ctx, e) {
+                s.steps.add(ctx, 1);
+                s.hi.add(ctx, *e);
+            }
+            if s.drop.eval(ctx, e) {
+                s.runs.add(ctx, 1);
+                s.lo.add(ctx, 1);
+            }
+            if *e >= 0 {
+                s.pos.add(ctx, *e);
+            } else {
+                s.neg.add(ctx, -*e);
+            }
+            s.prev.set(*e);
+            s.drop.set(*e);
+        }
+        fn result(&self, s: &GateState, _ctx: &mut SymCtx) -> i64 {
+            [&s.sum, &s.steps, &s.pos, &s.lo, &s.hi, &s.runs, &s.churn]
+                .iter()
+                .map(|r| r.concrete_value().unwrap_or(0))
+                .fold(0i64, i64::wrapping_add)
+                .wrapping_sub(s.neg.concrete_value().unwrap_or(0))
+        }
+    }
+
+    fn hash_row(r: &(u8, i64)) -> u64 {
+        let mut bytes = [0u8; 9];
+        bytes[0] = r.0;
+        bytes[1..].copy_from_slice(&r.1.to_le_bytes());
+        fnv1a(&bytes)
+    }
+
+    // Row-count floor, as in the checkpoint gate: per-chunk costs are
+    // fixed, so tiny jobs would make the percentages meaningless.
+    let n = records.max(150_000);
+    let row = |i: usize| ((i % 16) as u8, (i as i64 * 29 % 193) - 40);
+    let base_rows: Vec<(u8, i64)> = (0..n).map(row).collect();
+    let appended: Vec<(u8, i64)> = (n..n + n / 100).map(row).collect();
+    // ~40 content-defined chunks at the floor scale.
+    let target_chunk = (n / 40).max(1);
+    let job = JobConfig::default();
+
+    let dir = std::env::temp_dir().join(format!("symple-cache-gate-{}", std::process::id()));
+    let mut min_plain = Duration::MAX;
+    let mut min_cold = Duration::MAX;
+    let mut min_warm = Duration::MAX;
+    for _ in 0..OVERHEAD_ROUNDS {
+        let mut data = Dataset::new(base_rows.clone(), 64, target_chunk, hash_row);
+        let segments = data.segments();
+
+        // Uncached side of the all-miss comparison.
+        match run_symple(&GateGroup, &GateUda, &segments, &job) {
+            Ok(run) => min_plain = min_plain.min(run.metrics.total_wall()),
+            Err(e) => {
+                eprintln!("symple-bench: cache gate probe (uncached) failed: {e}");
+                return false;
+            }
+        }
+
+        // Cold cached run against a fresh directory: all chunks miss and
+        // pay frame + CRC + tmp-write + rename.
+        let _ = std::fs::remove_dir_all(&dir);
+        let cache = match DiskSummaryCache::new(&dir) {
+            Ok(c) => c,
+            Err(e) => {
+                eprintln!("symple-bench: cannot create cache dir {dir:?}: {e}");
+                return false;
+            }
+        };
+        let ctx = SummaryCacheCtx::new(&cache);
+        match run_symple_cached(&GateGroup, &GateUda, &segments, &job, &ctx) {
+            Ok(run) => {
+                if run.metrics.cache_misses != segments.len() as u64 {
+                    eprintln!("symple-bench: cache gate cold round was not all-miss");
+                    return false;
+                }
+                min_cold = min_cold.min(run.metrics.total_wall());
+            }
+            Err(e) => {
+                eprintln!("symple-bench: cache gate probe (cold) failed: {e}");
+                return false;
+            }
+        }
+
+        // Grow the log ~1% and resweep warm against the same cache.
+        data.append(appended.iter().copied());
+        let grown = data.segments();
+        match run_symple_cached(&GateGroup, &GateUda, &grown, &job, &ctx) {
+            Ok(run) => {
+                if run.metrics.cache_hits == 0 {
+                    eprintln!("symple-bench: cache gate warm round had no hits");
+                    return false;
+                }
+                min_warm = min_warm.min(run.metrics.total_wall());
+            }
+            Err(e) => {
+                eprintln!("symple-bench: cache gate probe (warm) failed: {e}");
+                return false;
+            }
+        }
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+
+    let overhead = min_cold.saturating_sub(min_plain);
+    let overhead_pct = if min_plain.is_zero() {
+        0.0
+    } else {
+        overhead.as_secs_f64() / min_plain.as_secs_f64() * 100.0
+    };
+    println!(
+        "summary-cache overhead: cold {c:.3} ms vs uncached {p:.3} ms -> +{o:.2}% (gate <={g}%, \
+         noise floor {nf} ms, min of {r} rounds)",
+        c = min_cold.as_secs_f64() * 1e3,
+        p = min_plain.as_secs_f64() * 1e3,
+        o = overhead_pct,
+        g = OVERHEAD_GATE_PCT,
+        nf = OVERHEAD_NOISE_FLOOR.as_millis(),
+        r = OVERHEAD_ROUNDS,
+    );
+    let overhead_ok = overhead_pct <= OVERHEAD_GATE_PCT || overhead <= OVERHEAD_NOISE_FLOOR;
+    println!(
+        "summary-cache overhead gate: {}",
+        if overhead_ok { "ok" } else { "FAILED" }
+    );
+
+    let warm_ratio = if min_cold.is_zero() {
+        0.0
+    } else {
+        min_warm.as_secs_f64() / min_cold.as_secs_f64()
+    };
+    println!(
+        "incremental resweep: warm {w:.3} ms vs cold {c:.3} ms after +1% append -> {ratio:.1}% \
+         (gate <={g:.0}%, noise floor {nf} ms, min of {r} rounds)",
+        w = min_warm.as_secs_f64() * 1e3,
+        c = min_cold.as_secs_f64() * 1e3,
+        ratio = warm_ratio * 100.0,
+        g = warm_fraction * 100.0,
+        nf = OVERHEAD_NOISE_FLOOR.as_millis(),
+        r = OVERHEAD_ROUNDS,
+    );
+    let warm_ok = warm_ratio <= warm_fraction || min_warm <= OVERHEAD_NOISE_FLOOR;
+    println!(
+        "incremental resweep gate: {}",
+        if warm_ok { "ok" } else { "FAILED" }
+    );
+    overhead_ok && warm_ok
 }

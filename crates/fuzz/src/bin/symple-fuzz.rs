@@ -32,6 +32,7 @@ OPTIONS:
                           60 with --smoke)
     --sabotage <KIND>     deliberately break an executor:
                           drop-last-event | reorder-chunks | stale-checkpoint
+                          | forged-cache-entry
                           (self-test: the run must then FAIL)
     --artifact-dir <DIR>  where repro files go (default target/fuzz)
     --no-artifacts        do not write repro files
@@ -91,7 +92,7 @@ fn main() -> ExitCode {
                 Some(s) => opts.sabotage = s,
                 None => {
                     return usage_error(
-                        "--sabotage needs drop-last-event, reorder-chunks, or stale-checkpoint",
+                        "--sabotage needs drop-last-event, reorder-chunks, stale-checkpoint, or forged-cache-entry",
                     )
                 }
             },

@@ -152,6 +152,11 @@ pub fn fuzz_matrix() -> Vec<Cell> {
             chunks: 4,
             ..base
         },
+        Cell {
+            executor: ExecutorKind::WarmResweep,
+            chunks: 4,
+            ..base
+        },
     ]
 }
 

@@ -79,6 +79,10 @@ pub fn fold_metrics(first: JobMetrics, second: JobMetrics) -> JobMetrics {
         checkpoint_hits: first.checkpoint_hits + second.checkpoint_hits,
         checkpoint_misses: first.checkpoint_misses + second.checkpoint_misses,
         checkpoint_corrupt: first.checkpoint_corrupt + second.checkpoint_corrupt,
+        cache_hits: first.cache_hits + second.cache_hits,
+        cache_misses: first.cache_misses + second.cache_misses,
+        cache_corrupt: first.cache_corrupt + second.cache_corrupt,
+        cache_bytes_saved: first.cache_bytes_saved + second.cache_bytes_saved,
         chunks_salvaged_concrete: first.chunks_salvaged_concrete + second.chunks_salvaged_concrete,
         explore: {
             let mut e = first.explore;

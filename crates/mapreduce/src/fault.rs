@@ -201,7 +201,7 @@ where
     U: Uda<Event = G::Event>,
     U::Output: Send,
 {
-    run_symple_inner(g, uda, segments, cfg, Some(injector), None)
+    run_symple_inner(g, uda, segments, cfg, Some(injector), None, None)
 }
 
 /// Runs the SYMPLE job with fault injection *and* a checkpoint store —
@@ -225,7 +225,7 @@ where
     U: Uda<Event = G::Event>,
     U::Output: Send,
 {
-    run_symple_inner(g, uda, segments, cfg, Some(injector), Some(ckpt))
+    run_symple_inner(g, uda, segments, cfg, Some(injector), Some(ckpt), None)
 }
 
 /// Side-by-side outcome of a clean run and a fault-injected re-run of the
@@ -280,7 +280,7 @@ where
     U: Uda<Event = G::Event>,
     U::Output: Send,
 {
-    let clean = run_symple_inner(g, uda, segments, cfg, None, None)?;
+    let clean = run_symple_inner(g, uda, segments, cfg, None, None, None)?;
     let injector = FaultInjector::new(plan);
     let faulty = run_symple_with_faults(g, uda, segments, cfg, &injector)?;
     Ok(FaultProbe {

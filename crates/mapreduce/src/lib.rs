@@ -68,8 +68,10 @@
 //! ```
 
 pub mod baseline;
+pub mod cache;
 pub mod chain;
 pub mod checkpoint;
+pub mod dataset;
 pub mod fault;
 pub mod groupby;
 pub mod job;
@@ -83,10 +85,14 @@ pub mod streaming;
 pub mod symple_job;
 
 pub use baseline::{run_baseline, run_baseline_sorted};
+pub use cache::{
+    cache_config_fingerprint, DiskSummaryCache, MemSummaryCache, SummaryCache, SummaryCacheCtx,
+};
 pub use chain::{fold_metrics, run_two_stage};
 pub use checkpoint::{
     config_fingerprint, CheckpointCtx, CheckpointStore, DiskCheckpointStore, MemCheckpointStore,
 };
+pub use dataset::Dataset;
 pub use fault::{
     probe_fault_determinism, run_symple_checkpointed_with_faults, run_symple_with_faults,
     FaultInjector, FaultPlan, FaultProbe, SegmentFaults,
@@ -101,4 +107,4 @@ pub use scheduler::{
 pub use segment::Segment;
 pub use sequential::run_sequential_job;
 pub use streaming::run_symple_streaming;
-pub use symple_job::{run_symple, run_symple_checkpointed};
+pub use symple_job::{run_symple, run_symple_cached, run_symple_checkpointed};

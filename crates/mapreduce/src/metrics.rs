@@ -58,6 +58,21 @@ pub struct JobMetrics {
     /// quarantined and the chunk recomputed. When a store is attached,
     /// `hits + misses + corrupt` equals the chunk count.
     pub checkpoint_corrupt: u64,
+    /// Map chunks served from a valid content-addressed summary-cache
+    /// entry instead of recomputed (cached runs only).
+    pub cache_hits: u64,
+    /// Map chunks with no summary-cache entry under their content key —
+    /// computed and committed (every chunk of a cold run is a miss).
+    pub cache_misses: u64,
+    /// Map chunks whose summary-cache entry failed validation — truncated,
+    /// bit-flipped, wrong version, or filed under a colliding/forged key.
+    /// The entry was quarantined and the chunk recomputed. When a cache is
+    /// attached, `cache_hits + cache_misses + cache_corrupt` equals the
+    /// chunk count.
+    pub cache_corrupt: u64,
+    /// Raw input bytes whose recomputation a cache hit skipped — the
+    /// incremental-recomputation savings axis.
+    pub cache_bytes_saved: u64,
     /// `(key, chunk)` cells whose engine refusal was salvaged by shipping
     /// raw events for in-order concrete re-execution at the reducer — the
     /// degraded-completion path, each one a measured sequential barrier.

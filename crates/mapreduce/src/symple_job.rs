@@ -31,6 +31,10 @@ use symple_core::summary::{Summary, SummaryChain};
 use symple_core::uda::{extract_result, run_concrete_state, Uda};
 use symple_core::wire::{get_bytes, get_len, get_uvarint, put_uvarint, Wire, WireError};
 
+use crate::cache::{
+    cache_config_fingerprint, chunk_cache_digest, lookup_summary, save_summary, CacheLookup,
+    SummaryCacheCtx,
+};
 use crate::checkpoint::{config_fingerprint, lookup_chunk, save_chunk, CheckpointCtx, ChunkLookup};
 use crate::fault::SegmentFaults;
 use crate::groupby::{group_segment, GroupBy, Key};
@@ -77,6 +81,35 @@ pub(crate) struct MapTaskOutput<K> {
     salvaged: u64,
     /// How the checkpoint lookup resolved.
     ckpt: CkptStatus,
+    /// How the summary-cache lookup resolved (cached runs only).
+    cache: CkptStatus,
+    /// A freshly computed chunk's `(content digest, payload)` awaiting its
+    /// cache commit. Tasks compute in parallel but the driver commits
+    /// these *sequentially, in chunk order*, after the map barrier — the
+    /// shire discipline (parallel extraction, sequential inserts) that
+    /// keeps a crashed run's cache a clean prefix of the input.
+    cache_save: Option<(u64, Vec<u8>)>,
+    /// Raw input bytes a cache hit saved from recomputation.
+    cache_bytes_saved: u64,
+}
+
+impl<K> MapTaskOutput<K> {
+    /// Output of a plain computed chunk: no store interaction.
+    fn computed(emits: Vec<MapEmit<K>>, stats: ExploreStats, salvaged: u64) -> MapTaskOutput<K>
+    where
+        K: Wire,
+    {
+        MapTaskOutput {
+            tally: tally_emits(&emits),
+            emits,
+            stats,
+            salvaged,
+            ckpt: CkptStatus::Absent,
+            cache: CkptStatus::Absent,
+            cache_save: None,
+            cache_bytes_saved: 0,
+        }
+    }
 }
 
 /// Byte accounting folded inside each map task at emit time, so the main
@@ -250,7 +283,7 @@ where
     U: Uda<Event = G::Event>,
     U::Output: Send,
 {
-    run_symple_inner(g, uda, segments, cfg, None, None)
+    run_symple_inner(g, uda, segments, cfg, None, None, None)
 }
 
 /// [`run_symple`] with a checkpoint store attached: each completed map
@@ -271,10 +304,37 @@ where
     U: Uda<Event = G::Event>,
     U::Output: Send,
 {
-    run_symple_inner(g, uda, segments, cfg, None, Some(ckpt))
+    run_symple_inner(g, uda, segments, cfg, None, Some(ckpt), None)
 }
 
-/// [`run_symple`] with optional fault injection and checkpointing.
+/// [`run_symple`] with a content-addressed summary cache attached: each
+/// chunk is looked up by `(config fingerprint, content digest)` before
+/// being computed, so a warm resweep after an append or edit recomputes
+/// only the dirty chunks and recomposes the merge tree from cached
+/// summaries. Dirty chunks compute in parallel; their cache commits are
+/// applied sequentially in chunk order after the map barrier. Corrupt or
+/// forged entries are quarantined and their chunks recomputed;
+/// [`JobMetrics`] reports `cache_hits + cache_misses + cache_corrupt ==`
+/// chunk count for every cached run.
+pub fn run_symple_cached<G, U>(
+    g: &G,
+    uda: &U,
+    segments: &[Segment<G::Record>],
+    cfg: &JobConfig,
+    cache: &SummaryCacheCtx<'_>,
+) -> Result<JobOutput<G::Key, U::Output>>
+where
+    G: GroupBy,
+    U: Uda<Event = G::Event>,
+    U::Output: Send,
+{
+    run_symple_inner(g, uda, segments, cfg, None, None, Some(cache))
+}
+
+/// [`run_symple`] with optional fault injection, checkpointing, and
+/// summary caching. When both stores are attached the cache wins: its
+/// keys are content-addressed and strictly more general than the
+/// per-job-id checkpoint keys.
 pub(crate) fn run_symple_inner<G, U>(
     g: &G,
     uda: &U,
@@ -282,6 +342,7 @@ pub(crate) fn run_symple_inner<G, U>(
     cfg: &JobConfig,
     faults: Option<&crate::fault::FaultInjector>,
     ckpt: Option<&CheckpointCtx<'_>>,
+    cache: Option<&SummaryCacheCtx<'_>>,
 ) -> Result<JobOutput<G::Key, U::Output>>
 where
     G: GroupBy,
@@ -320,7 +381,7 @@ where
                     return Err(Error::JobKilled { after_tasks: done });
                 }
             }
-            let out = map_task::<G, U>(g, uda, seg, cfg, ckpt)?;
+            let out = map_task::<G, U>(g, uda, seg, cfg, ckpt, cache)?;
             if let Some(f) = faults {
                 f.note_task_completed();
             }
@@ -335,6 +396,7 @@ where
 
     // The per-mapper byte tallies were folded inside the map tasks at emit
     // time; the main thread only sums one tally per mapper here.
+    let cache_fp = cache.map(|_| cache_config_fingerprint(cfg));
     let mut mapper_outputs: Vec<Vec<MapEmit<G::Key>>> = Vec::with_capacity(map_run.results.len());
     for r in map_run.results {
         let out = r?;
@@ -349,6 +411,19 @@ where
             CkptStatus::Miss => metrics.checkpoint_misses += 1,
             CkptStatus::Corrupt => metrics.checkpoint_corrupt += 1,
         }
+        match out.cache {
+            CkptStatus::Absent => {}
+            CkptStatus::Hit => metrics.cache_hits += 1,
+            CkptStatus::Miss => metrics.cache_misses += 1,
+            CkptStatus::Corrupt => metrics.cache_corrupt += 1,
+        }
+        metrics.cache_bytes_saved += out.cache_bytes_saved;
+        // Sequential commit, in chunk order (this loop walks results in
+        // input order): parallel tasks computed the payloads, the driver
+        // alone writes them.
+        if let (Some(ctx), Some(fp), Some((digest, payload))) = (cache, cache_fp, &out.cache_save) {
+            save_summary(ctx, fp, *digest, payload);
+        }
         mapper_outputs.push(out.emits);
     }
     symple_obs::counter_add("shuffle.bytes", metrics.shuffle_bytes);
@@ -356,6 +431,9 @@ where
     symple_obs::counter_add("summary.bytes", metrics.summary_bytes);
     symple_obs::counter_add("checkpoint.hits", metrics.checkpoint_hits);
     symple_obs::counter_add("checkpoint.corrupt", metrics.checkpoint_corrupt);
+    symple_obs::counter_add("cache.hits", metrics.cache_hits);
+    symple_obs::counter_add("cache.corrupt", metrics.cache_corrupt);
+    symple_obs::counter_add("cache.bytes_saved", metrics.cache_bytes_saved);
     symple_obs::counter_add("salvage.chunks", metrics.chunks_salvaged_concrete);
 
     // Reduce phase: decode payloads, compose in mapper order (salvaging
@@ -550,29 +628,30 @@ where
     Ok((emits, stats, salvaged))
 }
 
-/// One SYMPLE map task: checkpoint lookup (when a store is attached), then
-/// per-key aggregation and checkpoint save on miss or corruption.
+/// One SYMPLE map task: cache or checkpoint lookup (when a store is
+/// attached), then per-key aggregation and persistence on miss or
+/// corruption.
 fn map_task<G, U>(
     g: &G,
     uda: &U,
     seg: &Segment<G::Record>,
     cfg: &JobConfig,
     ckpt: Option<&CheckpointCtx<'_>>,
+    cache: Option<&SummaryCacheCtx<'_>>,
 ) -> Result<MapTaskOutput<G::Key>>
 where
     G: GroupBy,
     U: Uda<Event = G::Event>,
 {
     let groups = sorted_groups(g, seg);
+
+    if let Some(ctx) = cache {
+        return cached_map_task::<G, U>(uda, seg, cfg, ctx, &groups);
+    }
+
     let Some(ctx) = ckpt else {
         let (emits, stats, salvaged) = compute_chunk::<U, G::Key>(uda, seg.id, cfg, &groups)?;
-        return Ok(MapTaskOutput {
-            tally: tally_emits(&emits),
-            emits,
-            stats,
-            salvaged,
-            ckpt: CkptStatus::Absent,
-        });
+        return Ok(MapTaskOutput::computed(emits, stats, salvaged));
     };
 
     let meta = FrameMeta {
@@ -584,11 +663,8 @@ where
         ChunkLookup::Hit(payload) => match decode_checkpoint_payload::<G::Key>(&payload) {
             Ok((emits, stats, salvaged)) => {
                 return Ok(MapTaskOutput {
-                    tally: tally_emits(&emits),
-                    emits,
-                    stats,
-                    salvaged,
                     ckpt: CkptStatus::Hit,
+                    ..MapTaskOutput::computed(emits, stats, salvaged)
                 });
             }
             Err(e) => {
@@ -613,11 +689,54 @@ where
         &encode_checkpoint_payload(&emits, &stats, salvaged),
     );
     Ok(MapTaskOutput {
-        tally: tally_emits(&emits),
-        emits,
-        stats,
-        salvaged,
         ckpt: status,
+        ..MapTaskOutput::computed(emits, stats, salvaged)
+    })
+}
+
+/// The content-addressed variant of [`map_task`]: the lookup key is the
+/// chunk's *content*, not its job and position, so any prior run over the
+/// same bytes under the same config serves this chunk. A freshly computed
+/// payload is handed back to the driver for its sequential commit instead
+/// of being written here.
+fn cached_map_task<G, U>(
+    uda: &U,
+    seg: &Segment<G::Record>,
+    cfg: &JobConfig,
+    ctx: &SummaryCacheCtx<'_>,
+    groups: &[(G::Key, Vec<G::Event>)],
+) -> Result<MapTaskOutput<G::Key>>
+where
+    G: GroupBy,
+    U: Uda<Event = G::Event>,
+{
+    let runs_concrete = seg.id == 0 && cfg.first_segment_concrete;
+    let digest = chunk_cache_digest(input_digest(groups), runs_concrete);
+    let config_hash = cache_config_fingerprint(cfg);
+    let status = match lookup_summary(ctx, config_hash, digest) {
+        CacheLookup::Hit(payload) => match decode_checkpoint_payload::<G::Key>(&payload) {
+            Ok((emits, stats, salvaged)) => {
+                return Ok(MapTaskOutput {
+                    cache: CkptStatus::Hit,
+                    cache_bytes_saved: seg.raw_bytes,
+                    ..MapTaskOutput::computed(emits, stats, salvaged)
+                });
+            }
+            Err(e) => {
+                ctx.cache
+                    .quarantine(config_hash, digest, &format!("payload decode: {e}"));
+                CkptStatus::Corrupt
+            }
+        },
+        CacheLookup::Miss => CkptStatus::Miss,
+        CacheLookup::Corrupt => CkptStatus::Corrupt,
+    };
+    let (emits, stats, salvaged) = compute_chunk::<U, G::Key>(uda, seg.id, cfg, groups)?;
+    let payload = encode_checkpoint_payload(&emits, &stats, salvaged);
+    Ok(MapTaskOutput {
+        cache: status,
+        cache_save: Some((digest, payload)),
+        ..MapTaskOutput::computed(emits, stats, salvaged)
     })
 }
 
@@ -903,6 +1022,219 @@ mod tests {
             assert_eq!(out.metrics.summary_bytes, clean.metrics.summary_bytes);
             assert_eq!(out.metrics.explore.records, clean.metrics.explore.records);
         }
+    }
+
+    #[test]
+    fn cached_rerun_hits_every_chunk_cross_job() {
+        // Content addressing means the "jobs" need share nothing but
+        // their config and bytes — a second run over the same segments is
+        // all hits, and a run over content-identical segments built
+        // elsewhere is too.
+        let records: Vec<i64> = (0..600).map(|i| (i * 29 + 11) % 131).collect();
+        let segments = split_into_segments(&records, 5, 64);
+        let cfg = JobConfig::default();
+        let cache = crate::cache::MemSummaryCache::new();
+        let ctx = SummaryCacheCtx::new(&cache);
+
+        let clean = run_symple(&ByMod, &RunsUda, &segments, &cfg).unwrap();
+        let cold = run_symple_cached(&ByMod, &RunsUda, &segments, &cfg, &ctx).unwrap();
+        assert_eq!(cold.metrics.cache_misses, segments.len() as u64);
+        assert_eq!(cold.metrics.cache_hits, 0);
+        assert_eq!(cold.metrics.cache_bytes_saved, 0);
+
+        let warm = run_symple_cached(&ByMod, &RunsUda, &segments, &cfg, &ctx).unwrap();
+        assert_eq!(warm.metrics.cache_hits, segments.len() as u64);
+        assert_eq!(warm.metrics.cache_misses, 0);
+        assert_eq!(
+            warm.metrics.cache_bytes_saved,
+            segments.iter().map(|s| s.raw_bytes).sum::<u64>()
+        );
+
+        for out in [&cold, &warm] {
+            assert_eq!(out.results, clean.results);
+            assert_eq!(out.metrics.shuffle_bytes, clean.metrics.shuffle_bytes);
+            assert_eq!(out.metrics.summary_bytes, clean.metrics.summary_bytes);
+            assert_eq!(out.metrics.explore.records, clean.metrics.explore.records);
+        }
+    }
+
+    #[test]
+    fn cached_append_recomputes_only_the_tail_chunk() {
+        let records: Vec<i64> = (0..500).map(|i| (i * 17 + 3) % 101).collect();
+        let cfg = JobConfig::default();
+        let cache = crate::cache::MemSummaryCache::new();
+        let ctx = SummaryCacheCtx::new(&cache);
+
+        let mut data = crate::dataset::Dataset::new(records.clone(), 64, 32, |r: &i64| {
+            symple_core::frame::fnv1a(&r.to_le_bytes())
+        });
+        let _ = run_symple_cached(&ByMod, &RunsUda, &data.segments(), &cfg, &ctx).unwrap();
+
+        // Append ~1%: only the trailing chunk's content changes.
+        data.append((0..5).map(|i| (i * 13 + 7) % 101));
+        let segments = data.segments();
+        let warm = run_symple_cached(&ByMod, &RunsUda, &segments, &cfg, &ctx).unwrap();
+        assert!(
+            warm.metrics.cache_misses <= 2,
+            "append dirtied {} of {} chunks",
+            warm.metrics.cache_misses,
+            segments.len()
+        );
+        assert_eq!(
+            warm.metrics.cache_hits + warm.metrics.cache_misses,
+            segments.len() as u64
+        );
+        let clean = run_symple(&ByMod, &RunsUda, &segments, &cfg).unwrap();
+        assert_eq!(warm.results, clean.results);
+    }
+
+    #[test]
+    fn forged_cache_entry_is_quarantined_not_served() {
+        use crate::cache::SummaryCache as _;
+        // The sabotage the oracle's forged-cache-entry self-test bypasses:
+        // a frame recorded for one chunk's content, filed under another
+        // chunk's key. With validation on (the production default) the
+        // digest comparison quarantines it and the chunk recomputes.
+        //
+        // Group 4's events live only in segment 1 — duplicating segment 1's
+        // summary into segment 2 provably doubles group 4's output.
+        let special: [i64; 5] = [4, 14, 24, 4, 9];
+        let records: Vec<i64> = (0..400i64)
+            .map(|i| {
+                if (100..105).contains(&i) {
+                    special[(i - 100) as usize]
+                } else {
+                    5 * i
+                }
+            })
+            .collect();
+        let segments = split_into_segments(&records, 4, 64);
+        let cfg = JobConfig::default();
+        let key_of = |seg: &Segment<i64>| {
+            let groups = sorted_groups(&ByMod, seg);
+            crate::cache::chunk_cache_digest(
+                input_digest(&groups),
+                seg.id == 0 && cfg.first_segment_concrete,
+            )
+        };
+        let fp = cache_config_fingerprint(&cfg);
+        let cache = crate::cache::MemSummaryCache::new();
+        let ctx = SummaryCacheCtx::new(&cache);
+        let clean = run_symple(&ByMod, &RunsUda, &segments, &cfg).unwrap();
+        assert!(
+            clean.results.iter().any(|(k, v)| *k == 4 && !v.is_empty()),
+            "fixture must give group 4 a nonempty output"
+        );
+        run_symple_cached(&ByMod, &RunsUda, &segments, &cfg, &ctx).unwrap();
+        assert_eq!(cache.entry_count(), segments.len());
+
+        // Forge: move segment 1's frame under segment 2's key.
+        let donor = cache.raw_frame(fp, key_of(&segments[1])).unwrap();
+        cache.insert_raw(fp, key_of(&segments[2]), donor.clone());
+
+        let out = run_symple_cached(&ByMod, &RunsUda, &segments, &cfg, &ctx).unwrap();
+        assert_eq!(
+            out.results, clean.results,
+            "forged entry must not be served"
+        );
+        assert_eq!(out.metrics.cache_corrupt, 1);
+        assert_eq!(out.metrics.cache_hits, segments.len() as u64 - 1);
+        let q = cache.quarantined();
+        assert_eq!(q.len(), 1);
+        assert_eq!((q[0].0, q[0].1), (fp, key_of(&segments[2])));
+
+        // With the sabotage bypass the same forgery IS served — and the
+        // answer goes wrong, which is what the oracle must flag.
+        let trusting = SummaryCacheCtx {
+            cache: &cache,
+            trust_frame_meta: true,
+        };
+        cache.insert_raw(fp, key_of(&segments[2]), donor);
+        let bad = run_symple_cached(&ByMod, &RunsUda, &segments, &cfg, &trusting).unwrap();
+        assert_ne!(
+            bad.results, clean.results,
+            "bypass must surface the forgery"
+        );
+    }
+
+    #[test]
+    fn evicted_and_corrupted_entries_only_cost_recompute() {
+        let records: Vec<i64> = (0..500).map(|i| (i * 31 + 9) % 113).collect();
+        let segments = split_into_segments(&records, 5, 64);
+        let cfg = JobConfig::default();
+        let cache = crate::cache::MemSummaryCache::new();
+        let ctx = SummaryCacheCtx::new(&cache);
+        let clean = run_symple(&ByMod, &RunsUda, &segments, &cfg).unwrap();
+        run_symple_cached(&ByMod, &RunsUda, &segments, &cfg, &ctx).unwrap();
+
+        let keys = cache.keys();
+        assert!(cache.evict(keys[0].0, keys[0].1));
+        assert!(cache.tamper(keys[1].0, keys[1].1, |b| {
+            let last = b.len() - 1;
+            b[last] ^= 0xff;
+        }));
+
+        let out = run_symple_cached(&ByMod, &RunsUda, &segments, &cfg, &ctx).unwrap();
+        assert_eq!(out.results, clean.results);
+        assert_eq!(out.metrics.cache_misses, 1, "evicted");
+        assert_eq!(out.metrics.cache_corrupt, 1, "tampered");
+        assert_eq!(out.metrics.cache_hits, segments.len() as u64 - 2);
+
+        // Both entries were recommitted: the next run is all hits again.
+        let healed = run_symple_cached(&ByMod, &RunsUda, &segments, &cfg, &ctx).unwrap();
+        assert_eq!(healed.metrics.cache_hits, segments.len() as u64);
+    }
+
+    #[test]
+    fn flipping_output_shaping_config_forces_cache_miss() {
+        // The stale-read regression: every knob that shapes summary bytes
+        // must invalidate entries (auto-tuned engine configs flow through
+        // `cfg.engine` and are covered the same way); pure parallelism
+        // knobs must NOT (a resweep on a bigger machine stays warm).
+        let records: Vec<i64> = (0..300).map(|i| (i * 7 + 1) % 61).collect();
+        let segments = split_into_segments(&records, 4, 64);
+        let base = JobConfig::default();
+        let cache = crate::cache::MemSummaryCache::new();
+        let ctx = SummaryCacheCtx::new(&cache);
+        run_symple_cached(&ByMod, &RunsUda, &segments, &base, &ctx).unwrap();
+
+        let mut flips: Vec<(&str, JobConfig)> = Vec::new();
+        let mut m = base;
+        m.engine.max_paths_per_record += 1;
+        flips.push(("engine.max_paths_per_record", m));
+        let mut m = base;
+        m.engine.max_total_paths += 1;
+        flips.push(("engine.max_total_paths", m));
+        let mut m = base;
+        m.engine.merge_policy = symple_core::engine::MergePolicy::Never;
+        flips.push(("engine.merge_policy", m));
+        let mut m = base;
+        m.first_segment_concrete = false;
+        flips.push(("first_segment_concrete", m));
+        let mut m = base;
+        m.salvage_refused_chunks = false;
+        flips.push(("salvage_refused_chunks", m));
+        let mut m = base;
+        m.reduce_strategy = crate::job::ReduceStrategy::TreeCompose;
+        flips.push(("reduce_strategy", m));
+
+        for (name, cfg) in &flips {
+            let out = run_symple_cached(&ByMod, &RunsUda, &segments, cfg, &ctx).unwrap();
+            assert_eq!(out.metrics.cache_hits, 0, "{name} must force misses");
+            let clean = run_symple(&ByMod, &RunsUda, &segments, cfg).unwrap();
+            assert_eq!(out.results, clean.results, "{name}");
+        }
+
+        let mut par = base;
+        par.num_reducers += 1;
+        par.map_workers = 1;
+        par.reduce_workers = 1;
+        let out = run_symple_cached(&ByMod, &RunsUda, &segments, &par, &ctx).unwrap();
+        assert_eq!(
+            out.metrics.cache_hits,
+            segments.len() as u64,
+            "parallelism knobs must stay warm"
+        );
     }
 
     #[test]

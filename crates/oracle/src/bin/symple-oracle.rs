@@ -32,6 +32,8 @@ OPTIONS:
                           drop-last-event | reorder-chunks (chunked)
                           | stale-checkpoint (crash-resume: trust forged
                           checkpoint frames, skipping metadata validation)
+                          | forged-cache-entry (warm-resweep: trust a cache
+                          frame filed under a colliding key)
                           (self-test: the sweep must then FAIL)
     --analyze-first       run the static analyzer over each case first and
                           skip matrix cells it predicts the engine will
@@ -97,7 +99,7 @@ fn main() -> ExitCode {
                 Some(s) => opts.sabotage = s,
                 None => {
                     return usage_error(
-                        "--sabotage needs drop-last-event, reorder-chunks, or stale-checkpoint",
+                        "--sabotage needs drop-last-event, reorder-chunks, stale-checkpoint, or forged-cache-entry",
                     )
                 }
             },

@@ -15,9 +15,10 @@ use symple_core::uda::{extract_result, run_concrete_state, run_sequential, summa
 use symple_core::wire::Wire;
 use symple_mapreduce::segment::split_into_segments;
 use symple_mapreduce::{
-    probe_fault_determinism, run_symple, run_symple_checkpointed,
+    probe_fault_determinism, run_symple, run_symple_cached, run_symple_checkpointed,
     run_symple_checkpointed_with_faults, run_symple_streaming, run_symple_with_faults,
     CheckpointCtx, FaultInjector, FaultPlan, GroupBy, JobOutput, MemCheckpointStore,
+    MemSummaryCache, SummaryCacheCtx,
 };
 
 use crate::cell::{Cell, ExecutorKind, FaultKind};
@@ -45,6 +46,12 @@ pub enum Sabotage {
     /// input-digest check exists to prevent. Affects
     /// [`ExecutorKind::CrashResume`] cells only.
     StaleCheckpoint,
+    /// File a summary-cache frame recorded for one chunk's content under a
+    /// key the warm resweep will look up (a key collision made real),
+    /// bypassing frame-metadata validation — the bug the content-digest
+    /// check in cache frames exists to prevent. Affects
+    /// [`ExecutorKind::WarmResweep`] cells only.
+    ForgedCacheEntry,
 }
 
 impl Sabotage {
@@ -55,6 +62,7 @@ impl Sabotage {
             Sabotage::DropLastEvent => "drop-last-event",
             Sabotage::ReorderChunks => "reorder-chunks",
             Sabotage::StaleCheckpoint => "stale-checkpoint",
+            Sabotage::ForgedCacheEntry => "forged-cache-entry",
         }
     }
 
@@ -65,6 +73,7 @@ impl Sabotage {
             "drop-last-event" => Sabotage::DropLastEvent,
             "reorder-chunks" => Sabotage::ReorderChunks,
             "stale-checkpoint" => Sabotage::StaleCheckpoint,
+            "forged-cache-entry" => Sabotage::ForgedCacheEntry,
             _ => return None,
         })
     }
@@ -413,6 +422,65 @@ where
         run_symple_checkpointed(&group, &self.uda, &segments, &job, &ctx)
     }
 
+    /// The warm-resweep executor: a *cold* cached run over the input minus
+    /// its tail event warms a content-addressed summary cache, then the
+    /// full input reruns against the same cache. The rendered output is
+    /// the warm resweep's — cache equivalence says it must equal an
+    /// uninterrupted run over the full input, even though chunks whose
+    /// content didn't change were served from the cache.
+    ///
+    /// Under [`Sabotage::ForgedCacheEntry`] a frame recorded for a
+    /// cold-only chunk is re-filed under a key only the warm run looks up,
+    /// and the resweep bypasses frame-metadata validation
+    /// (`trust_frame_meta`) — so the forged summary is trusted and the
+    /// output goes wrong, which the oracle must flag. With validation on
+    /// (the production default) the same forgery is quarantined and the
+    /// chunk recomputed.
+    fn run_warm_resweep(
+        &self,
+        events: &[U::Event],
+        cell: &Cell,
+        sabotage: Sabotage,
+    ) -> Result<JobOutput<u8, U::Output>> {
+        let segments = split_into_segments(events, cell.chunks.max(1), 8);
+        let group = SingleKey::<U::Event>::new();
+        let job = cell.job();
+        let cache = MemSummaryCache::new();
+        let mut ctx = SummaryCacheCtx::new(&cache);
+
+        // Cold pass over the shortened input ("yesterday's log").
+        let mut cold: Vec<U::Event> = events.to_vec();
+        cold.pop();
+        let cold_segments = split_into_segments(&cold, cell.chunks.max(1), 8);
+        let _ = run_symple_cached(&group, &self.uda, &cold_segments, &job, &ctx);
+
+        if sabotage == Sabotage::ForgedCacheEntry {
+            // Learn which keys the warm run will look up by probing a
+            // scratch cache, then file a cold-only frame under a warm-only
+            // key: a content-digest collision made real.
+            let scratch = MemSummaryCache::new();
+            let probe = SummaryCacheCtx::new(&scratch);
+            let _ = run_symple_cached(&group, &self.uda, &segments, &job, &probe);
+            let cold_keys: std::collections::HashSet<(u64, u64)> =
+                cache.keys().into_iter().collect();
+            let warm_keys = scratch.keys();
+            let donor = cache
+                .keys()
+                .into_iter()
+                .find(|k| !warm_keys.contains(k))
+                .or_else(|| cache.keys().into_iter().next());
+            let target = warm_keys.into_iter().find(|k| !cold_keys.contains(k));
+            if let (Some(donor), Some(target)) = (donor, target) {
+                if let Some(frame) = cache.raw_frame(donor.0, donor.1) {
+                    cache.insert_raw(target.0, target.1, frame);
+                }
+            }
+            ctx.trust_frame_meta = true;
+        }
+
+        run_symple_cached(&group, &self.uda, &segments, &job, &ctx)
+    }
+
     fn run_mapreduce(&self, events: Vec<U::Event>, cell: &Cell, sabotage: Sabotage) -> String {
         if events.is_empty() {
             return NO_GROUPS.to_string();
@@ -423,6 +491,7 @@ where
         let out = match cell.executor {
             ExecutorKind::Streaming => run_symple_streaming(&group, &self.uda, &segments, &job),
             ExecutorKind::CrashResume => self.run_crash_resume(&events, cell, sabotage),
+            ExecutorKind::WarmResweep => self.run_warm_resweep(&events, cell, sabotage),
             _ => match cell.faults {
                 FaultKind::None => run_symple(&group, &self.uda, &segments, &job),
                 plan => {
@@ -591,6 +660,7 @@ mod tests {
             Sabotage::DropLastEvent,
             Sabotage::ReorderChunks,
             Sabotage::StaleCheckpoint,
+            Sabotage::ForgedCacheEntry,
         ] {
             assert_eq!(Sabotage::parse(s.as_str()), Some(s));
         }

@@ -28,6 +28,12 @@ pub enum ExecutorKind {
     /// rendered output is the *resumed* run's — the soundness theorem
     /// plus durable summaries say it must equal an uninterrupted run.
     CrashResume,
+    /// The incremental path: a *cold* cached run over a shortened input
+    /// warms a content-addressed summary cache, the input then grows to
+    /// full length, and the rendered output is the *warm* resweep's. The
+    /// cache equivalence proof says warm must equal cold-on-the-same-input
+    /// byte for byte.
+    WarmResweep,
 }
 
 impl ExecutorKind {
@@ -39,6 +45,7 @@ impl ExecutorKind {
             ExecutorKind::MapReduceTree => "mapreduce-tree",
             ExecutorKind::Streaming => "streaming",
             ExecutorKind::CrashResume => "crash-resume",
+            ExecutorKind::WarmResweep => "warm-resweep",
         }
     }
 
@@ -50,6 +57,7 @@ impl ExecutorKind {
             "mapreduce-tree" => ExecutorKind::MapReduceTree,
             "streaming" => ExecutorKind::Streaming,
             "crash-resume" => ExecutorKind::CrashResume,
+            "warm-resweep" => ExecutorKind::WarmResweep,
             _ => return None,
         })
     }
@@ -282,6 +290,12 @@ pub fn smoke_matrix() -> Vec<Cell> {
             chunks: 4,
             ..base
         },
+        // Cold run on a prefix, then warm resweep of the full input.
+        Cell {
+            executor: ExecutorKind::WarmResweep,
+            chunks: 4,
+            ..base
+        },
     ]
 }
 
@@ -340,16 +354,18 @@ pub fn deep_matrix() -> Vec<Cell> {
             });
         }
     }
-    for &chunks in &[1usize, 4, 6] {
-        for &first_segment_concrete in &[true, false] {
-            cells.push(Cell {
-                executor: ExecutorKind::CrashResume,
-                chunks,
-                merge_policy: MergePolicy::HighWater,
-                max_total_paths: 8,
-                first_segment_concrete,
-                faults: FaultKind::None,
-            });
+    for executor in [ExecutorKind::CrashResume, ExecutorKind::WarmResweep] {
+        for &chunks in &[1usize, 4, 6] {
+            for &first_segment_concrete in &[true, false] {
+                cells.push(Cell {
+                    executor,
+                    chunks,
+                    merge_policy: MergePolicy::HighWater,
+                    max_total_paths: 8,
+                    first_segment_concrete,
+                    faults: FaultKind::None,
+                });
+            }
         }
     }
     cells
@@ -367,6 +383,7 @@ mod tests {
             ExecutorKind::MapReduceTree,
             ExecutorKind::Streaming,
             ExecutorKind::CrashResume,
+            ExecutorKind::WarmResweep,
         ] {
             assert_eq!(ExecutorKind::parse(e.as_str()), Some(e));
         }
@@ -397,6 +414,7 @@ mod tests {
                 ExecutorKind::MapReduceTree,
                 ExecutorKind::Streaming,
                 ExecutorKind::CrashResume,
+                ExecutorKind::WarmResweep,
             ] {
                 assert!(m.iter().any(|c| c.executor == e), "{e:?} missing");
             }

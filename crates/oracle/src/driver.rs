@@ -476,6 +476,38 @@ mod tests {
     }
 
     #[test]
+    fn forged_cache_entry_sabotage_is_flagged_only_when_validation_is_bypassed() {
+        // OVF once more: a plain sum, so serving one chunk's cached
+        // summary in place of another's visibly changes the output.
+        let opts = OracleOptions {
+            case_filter: Some("OVF".into()),
+            ..quick_opts()
+        };
+        // With frame-metadata validation on (the production default), the
+        // warm-resweep cells quarantine the forged entry and recompute:
+        // the sweep is clean. This is the content-digest check in cache
+        // frames doing its job.
+        let clean = run_oracle(&opts);
+        assert!(clean.clean(), "findings: {:#?}", clean.findings);
+
+        // Bypassing the check (`trust_frame_meta`) while a cold-only frame
+        // sits under a warm-only key must produce a wrong answer the
+        // oracle flags — and pins the finding to a warm-resweep cell.
+        let report = run_oracle(&OracleOptions {
+            sabotage: Sabotage::ForgedCacheEntry,
+            ..opts
+        });
+        assert!(
+            !report.clean(),
+            "forged-cache-entry sabotage must be detected"
+        );
+        assert!(report
+            .findings
+            .iter()
+            .any(|f| f.artifact.cell.executor == crate::cell::ExecutorKind::WarmResweep));
+    }
+
+    #[test]
     fn analyze_first_is_a_no_op_on_a_well_behaved_case() {
         let base = run_oracle(&quick_opts());
         let analyzed = run_oracle(&OracleOptions {

@@ -8,7 +8,7 @@ use symple_datagen::{
     GithubConfig, RedshiftConfig, TwitterConfig,
 };
 use symple_mapreduce::segment::split_into_segments;
-use symple_mapreduce::{GroupBy, JobConfig, Segment};
+use symple_mapreduce::{GroupBy, JobConfig, Segment, SummaryCacheCtx};
 
 use crate::bing_q::{b1_uda, b2_uda, b3_variants, gap_variants, B1Group, B2Group, B3Group, B3Uda};
 use crate::funnel::{f1_variants, FunnelGroup, FunnelUda};
@@ -20,7 +20,7 @@ use crate::redshift_q::{
     r1_variants, r2_variants, r3_uda, r3_variants, r4_variants, R1Group, R1Uda, R2Group, R2Uda,
     R3Group, R4Group, R4Uda,
 };
-use crate::runner::{execute, Backend, DataScale, LineGroup, QueryReport};
+use crate::runner::{execute, execute_cached, Backend, DataScale, LineGroup, QueryReport};
 use crate::twitter_q::{t1_variants, T1Group, T1Uda};
 
 /// Static description of one evaluation query (one Table 1 row).
@@ -55,6 +55,15 @@ pub trait QueryRunner: Send + Sync {
         segments: &[Segment<String>],
         backend: Backend,
         job: &JobConfig,
+    ) -> Result<QueryReport>;
+    /// Runs the query on the SYMPLE backend over raw log-line segments
+    /// against a content-addressed summary cache — already-cached chunks
+    /// are served instead of recomputed (the incremental-resweep path).
+    fn run_lines_cached(
+        &self,
+        segments: &[Segment<String>],
+        job: &JobConfig,
+        cache: &SummaryCacheCtx<'_>,
     ) -> Result<QueryReport>;
     /// Raw bytes per input record for I/O accounting.
     fn raw_record_bytes(&self) -> u64;
@@ -159,6 +168,14 @@ macro_rules! runner {
                 job: &JobConfig,
             ) -> Result<QueryReport> {
                 execute(&LineGroup($group), &$uda, segments, backend, job)
+            }
+            fn run_lines_cached(
+                &self,
+                segments: &[Segment<String>],
+                job: &JobConfig,
+                cache: &SummaryCacheCtx<'_>,
+            ) -> Result<QueryReport> {
+                execute_cached(&LineGroup($group), &$uda, segments, job, cache)
             }
             fn raw_record_bytes(&self) -> u64 {
                 $raw
@@ -369,6 +386,14 @@ macro_rules! redshift_runner {
             ) -> Result<QueryReport> {
                 execute(&LineGroup($group), &$uda, segments, backend, job)
             }
+            fn run_lines_cached(
+                &self,
+                segments: &[Segment<String>],
+                job: &JobConfig,
+                cache: &SummaryCacheCtx<'_>,
+            ) -> Result<QueryReport> {
+                execute_cached(&LineGroup($group), &$uda, segments, job, cache)
+            }
             fn raw_record_bytes(&self) -> u64 {
                 if $condensed {
                     raw_sizes::REDSHIFT_CONDENSED
@@ -563,6 +588,66 @@ mod tests {
             let sym = q.run(&scale, Backend::Symple, &job).unwrap();
             assert_eq!(base.output_hash, sym.output_hash, "query {id}");
             assert_eq!(base.output_rows, sym.output_rows, "query {id}");
+        }
+    }
+
+    /// Raw log lines for `id`'s dataset at `scale` — the same generator
+    /// `run` uses, materialized so tests can replay exact append deltas.
+    fn lines_for(id: &str, scale: &DataScale) -> Vec<String> {
+        match id.as_bytes()[0] {
+            b'G' => symple_datagen::to_lines(&github_records(scale)),
+            b'B' => symple_datagen::to_lines(&bing_records(scale)),
+            b'T' => symple_datagen::to_lines(&twitter_records(scale)),
+            b'F' => symple_datagen::to_lines(&weblog_records(scale)),
+            b'R' => symple_datagen::to_lines(&redshift_records(scale, false)),
+            _ => panic!("unknown dataset for {id}"),
+        }
+    }
+
+    #[test]
+    fn warm_resweep_after_append_is_byte_identical_and_mostly_cached() {
+        // The incremental-recomputation acceptance check at test scale:
+        // grow each query's log by ~1%, resweep against the cache warmed
+        // by the cold run, and require (a) output identical to an uncached
+        // run and (b) the overwhelming majority of chunks served from the
+        // cache.
+        let scale = DataScale {
+            records: 3_030,
+            groups: 30,
+            segments: 4,
+            seed: 11,
+            parse_lines: true,
+        };
+        let job = JobConfig::default();
+        for q in all_queries() {
+            let id = q.info().id;
+            let all_lines = lines_for(id, &scale);
+            let cold_len = all_lines.len() - all_lines.len() / 100;
+            let mut data = symple_mapreduce::Dataset::new(
+                all_lines[..cold_len].to_vec(),
+                q.raw_record_bytes(),
+                128,
+                |l: &String| symple_core::frame::fnv1a(l.as_bytes()),
+            );
+            let cache = symple_mapreduce::MemSummaryCache::new();
+            let ctx = SummaryCacheCtx::new(&cache);
+            let cold = q.run_lines_cached(&data.segments(), &job, &ctx).unwrap();
+            assert_eq!(cold.metrics.cache_hits, 0, "query {id}: cold run must miss");
+
+            data.append(all_lines[cold_len..].iter().cloned());
+            let segments = data.segments();
+            let warm = q.run_lines_cached(&segments, &job, &ctx).unwrap();
+            let clean = q.run_lines(&segments, Backend::Symple, &job).unwrap();
+            assert_eq!(warm.output_hash, clean.output_hash, "query {id}");
+            assert_eq!(warm.output_rows, clean.output_rows, "query {id}");
+            assert_eq!(warm.metrics.cache_corrupt, 0, "query {id}");
+            let total = warm.metrics.cache_hits + warm.metrics.cache_misses;
+            assert_eq!(total, segments.len() as u64, "query {id}");
+            assert!(
+                warm.metrics.cache_hits * 10 >= total * 8,
+                "query {id}: only {} of {total} chunks served warm",
+                warm.metrics.cache_hits
+            );
         }
     }
 

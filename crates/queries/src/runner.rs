@@ -6,8 +6,8 @@ use std::fmt::Debug;
 use symple_core::error::Result;
 use symple_core::uda::Uda;
 use symple_mapreduce::{
-    run_baseline, run_baseline_sorted, run_sequential_job, run_symple, GroupBy, JobConfig,
-    JobMetrics, Segment,
+    run_baseline, run_baseline_sorted, run_sequential_job, run_symple, run_symple_cached, GroupBy,
+    JobConfig, JobMetrics, Segment, SummaryCacheCtx,
 };
 
 /// Which execution strategy to use.
@@ -142,6 +142,32 @@ where
         Backend::SortedBaseline => run_baseline_sorted(g, uda, segments, job)?,
         Backend::Symple => run_symple(g, uda, segments, job)?,
     };
+    Ok(QueryReport {
+        metrics: out.metrics,
+        output_hash: hash_results(&out.results),
+        output_rows: out.results.len() as u64,
+    })
+}
+
+/// Runs a groupby-aggregate query on the SYMPLE backend against a
+/// content-addressed summary cache: chunks whose `(config, content)` key
+/// is already cached are served from it, everything else is computed and
+/// committed. The report's `metrics.cache_*` fields say how warm the run
+/// was; the output is byte-identical to an uncached [`Backend::Symple`]
+/// run either way.
+pub fn execute_cached<G, U>(
+    g: &G,
+    uda: &U,
+    segments: &[Segment<G::Record>],
+    job: &JobConfig,
+    cache: &SummaryCacheCtx<'_>,
+) -> Result<QueryReport>
+where
+    G: GroupBy,
+    U: Uda<Event = G::Event>,
+    U::Output: Send + Debug,
+{
+    let out = run_symple_cached(g, uda, segments, job, cache)?;
     Ok(QueryReport {
         metrics: out.metrics,
         output_hash: hash_results(&out.results),

@@ -20,7 +20,7 @@ use symple::datagen::{
     list_segments, read_segment_lines, write_segments, BingConfig, GithubConfig, RedshiftConfig,
     TwitterConfig, WeblogConfig,
 };
-use symple::mapreduce::{JobConfig, Segment};
+use symple::mapreduce::{Dataset, DiskSummaryCache, JobConfig, Segment, SummaryCacheCtx};
 use symple::queries::{all_queries, runner_by_id, Backend};
 
 fn usage() -> ExitCode {
@@ -30,7 +30,8 @@ fn usage() -> ExitCode {
          symple-cli generate --dataset <github|bing|twitter|redshift|weblog> \
          --out <dir> [--records N] [--groups N] [--segments N] [--seed N]\n  \
          symple-cli run --query <G1..G4|B1..B3|T1|R1..R4|R1c..R4c|F1> --input <dir> \
-         [--backend <sequential|baseline|local|symple>] [--reducers N]\n  \
+         [--backend <sequential|baseline|local|symple>] [--reducers N] \
+         [--cache-dir <dir>  incremental summary cache, symple backend only]\n  \
          symple-cli verify --query <id> --input <dir>"
     );
     ExitCode::FAILURE
@@ -191,7 +192,32 @@ fn cmd_run(args: &Args) -> ExitCode {
     };
 
     let job = JobConfig::default().with_reducers(reducers);
-    match runner.run_lines(&segments, backend, &job) {
+    let report = match args.get("cache-dir") {
+        None => runner.run_lines(&segments, backend, &job),
+        Some(dir) => {
+            if backend != Backend::Symple {
+                eprintln!("--cache-dir requires --backend symple");
+                return ExitCode::FAILURE;
+            }
+            // Re-chunk the log by content rather than by segment file, so
+            // a regenerated dataset that merely grew at the end reuses
+            // every untouched chunk's cached summary.
+            let lines: Vec<String> = segments.into_iter().flat_map(|s| s.records).collect();
+            let data = Dataset::new(lines, runner.raw_record_bytes(), 512, |l: &String| {
+                symple::core::frame::fnv1a(l.as_bytes())
+            });
+            let cache = match DiskSummaryCache::new(dir) {
+                Ok(c) => c,
+                Err(e) => {
+                    eprintln!("cannot open cache dir {dir}: {e}");
+                    return ExitCode::FAILURE;
+                }
+            };
+            let ctx = SummaryCacheCtx::new(&cache);
+            runner.run_lines_cached(&data.segments(), &job, &ctx)
+        }
+    };
+    match report {
         Ok(report) => {
             let m = report.metrics;
             println!(
@@ -215,6 +241,13 @@ fn cmd_run(args: &Args) -> ExitCode {
                     m.explore.forks,
                     m.explore.merges,
                     m.explore.max_live_paths
+                );
+            }
+            let cached_chunks = m.cache_hits + m.cache_misses + m.cache_corrupt;
+            if cached_chunks > 0 {
+                println!(
+                    "  summary cache   : {} of {} chunks warm ({} corrupt), {} raw bytes not recomputed",
+                    m.cache_hits, cached_chunks, m.cache_corrupt, m.cache_bytes_saved
                 );
             }
             ExitCode::SUCCESS

@@ -158,7 +158,7 @@ proptest! {
 
 // ------------------------------------------------------- metric folding
 
-/// A fully synthetic [`JobMetrics`] from 26 generated raw values, so the
+/// A fully synthetic [`JobMetrics`] from 30 generated raw values, so the
 /// additivity property exercises every field without wall clocks.
 fn metrics_from(raw: &[u64]) -> JobMetrics {
     let ms = |v: u64| Duration::from_millis(v);
@@ -183,6 +183,10 @@ fn metrics_from(raw: &[u64]) -> JobMetrics {
         checkpoint_misses: raw[23],
         checkpoint_corrupt: raw[24],
         chunks_salvaged_concrete: raw[25],
+        cache_hits: raw[26],
+        cache_misses: raw[27],
+        cache_corrupt: raw[28],
+        cache_bytes_saved: raw[29],
         explore: ExploreStats {
             records: raw[12],
             runs: raw[13],
@@ -201,9 +205,9 @@ proptest! {
     /// are counted once — never dropped, never double counted.
     #[test]
     fn fold_metrics_is_additive(
-        a_raw in prop::collection::vec(0u64..1_000_000, 26..27),
-        b_raw in prop::collection::vec(0u64..1_000_000, 26..27),
-        c_raw in prop::collection::vec(0u64..1_000_000, 26..27),
+        a_raw in prop::collection::vec(0u64..1_000_000, 30..31),
+        b_raw in prop::collection::vec(0u64..1_000_000, 30..31),
+        c_raw in prop::collection::vec(0u64..1_000_000, 30..31),
     ) {
         let (a, b) = (metrics_from(&a_raw), metrics_from(&b_raw));
         let f = fold_metrics(a, b);
@@ -234,6 +238,10 @@ proptest! {
             f.chunks_salvaged_concrete,
             a.chunks_salvaged_concrete + b.chunks_salvaged_concrete
         );
+        prop_assert_eq!(f.cache_hits, a.cache_hits + b.cache_hits);
+        prop_assert_eq!(f.cache_misses, a.cache_misses + b.cache_misses);
+        prop_assert_eq!(f.cache_corrupt, a.cache_corrupt + b.cache_corrupt);
+        prop_assert_eq!(f.cache_bytes_saved, a.cache_bytes_saved + b.cache_bytes_saved);
         // Stage-1-owned, stage-2-owned, and bounding fields.
         prop_assert_eq!(f.input_records, a.input_records);
         prop_assert_eq!(f.input_bytes, a.input_bytes);
