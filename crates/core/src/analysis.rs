@@ -349,6 +349,7 @@ impl EngineConfig {
             max_paths_per_record,
             max_total_paths,
             merge_policy,
+            ..EngineConfig::default()
         }
     }
 }
@@ -737,6 +738,7 @@ mod tests {
             max_paths_per_record: 4,
             max_total_paths: 1_000,
             merge_policy: MergePolicy::Never,
+            ..EngineConfig::default()
         };
         assert!(a.predicts_refusal(&doomed));
         // Restart fallback keeps the same UDA inside a generous bound.
@@ -744,6 +746,7 @@ mod tests {
             max_paths_per_record: 1_024,
             max_total_paths: 8,
             merge_policy: MergePolicy::Never,
+            ..EngineConfig::default()
         };
         assert!(!a.predicts_refusal(&fine));
         // Unmergeable, nothing rebinds → Never.
@@ -803,6 +806,7 @@ mod tests {
             max_paths_per_record: 1_024,
             max_total_paths: 8,
             merge_policy: MergePolicy::Never,
+            ..EngineConfig::default()
         };
         let mut exec = SymbolicExecutor::new(&UnmergeableUda, cfg);
         for e in 0..12 {

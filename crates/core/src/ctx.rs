@@ -71,6 +71,12 @@ impl ChoiceVector {
     pub fn values(&self) -> Vec<u8> {
         self.digits.iter().map(|d| d.value).collect()
     }
+
+    /// Empties the vector, retaining its digit capacity so a recycled
+    /// context never reallocates across records.
+    pub(crate) fn clear(&mut self) {
+        self.digits.clear();
+    }
 }
 
 /// Execution mode of a [`SymCtx`].
@@ -146,6 +152,10 @@ pub struct SymCtx {
     error: Option<Error>,
     forks_taken: u64,
     footprint: Vec<FootprintOp>,
+    /// Sealed (probe) contexts refuse to fork: [`SymCtx::choose`] latches
+    /// `fork_refused` and pins outcome 0 instead of appending a digit.
+    sealed: bool,
+    fork_refused: bool,
 }
 
 impl SymCtx {
@@ -157,6 +167,8 @@ impl SymCtx {
             error: None,
             forks_taken: 0,
             footprint: Vec::new(),
+            sealed: false,
+            fork_refused: false,
         }
     }
 
@@ -176,6 +188,36 @@ impl SymCtx {
     /// via [`SymCtx::note_op`] is recorded in a per-run footprint.
     pub fn analysis() -> SymCtx {
         SymCtx::with_mode(Mode::Analysis)
+    }
+
+    /// Creates a *sealed* probe context: it behaves exactly like a
+    /// symbolic context (so data-type semantics are unchanged) **until**
+    /// an operation would fork — then [`SymCtx::choose`] latches
+    /// [`SymCtx::fork_refused`], pins outcome 0, and the caller is
+    /// expected to roll the run back and fall through to full
+    /// exploration. The batched fast path in the engine uses this to
+    /// apply fork-free records in place without cloning states.
+    pub fn probe() -> SymCtx {
+        let mut ctx = SymCtx::with_mode(Mode::Symbolic);
+        ctx.sealed = true;
+        ctx
+    }
+
+    /// Resets a sealed probe context for its next in-place run, keeping
+    /// allocated capacity.
+    pub fn begin_probe(&mut self) {
+        debug_assert!(self.sealed, "begin_probe on a non-probe context");
+        self.choices.clear();
+        self.pos = 0;
+        self.error = None;
+        self.forks_taken = 0;
+        self.footprint.clear();
+        self.fork_refused = false;
+    }
+
+    /// Whether a sealed probe run attempted to fork (and was refused).
+    pub fn fork_refused(&self) -> bool {
+        self.fork_refused
     }
 
     /// Whether this context permits symbolic forks.
@@ -239,6 +281,13 @@ impl SymCtx {
     /// (§4.1 "once bound, SymEnums are as fast as a C++ enum").
     pub fn choose(&mut self, arity: u8) -> u8 {
         debug_assert!(arity >= 2);
+        if self.sealed {
+            // Probe runs never explore: latch the refusal so the engine
+            // rolls this run back, and pin the first outcome so the rest
+            // of the (discarded) run stays well-defined.
+            self.fork_refused = true;
+            return 0;
+        }
         if self.mode == Mode::Concrete {
             self.fail(Error::NonConcreteBranch);
             return 0;
@@ -409,6 +458,32 @@ mod tests {
             ctx.note_op(OpKind::Arith, None, "add", false);
             assert!(ctx.take_footprint().is_empty());
         }
+    }
+
+    #[test]
+    fn probe_refuses_forks_without_counting() {
+        let mut ctx = SymCtx::probe();
+        ctx.begin_probe();
+        assert!(ctx.is_symbolic(), "probe semantics are symbolic semantics");
+        assert!(!ctx.fork_refused());
+        assert_eq!(ctx.choose(2), 0, "refused forks pin outcome 0");
+        assert!(ctx.fork_refused());
+        assert_eq!(ctx.forks_taken(), 0, "refused forks are not statistics");
+        assert!(ctx.choice_vector().is_empty(), "no digit is appended");
+        assert!(!ctx.has_error(), "refusal is not an error");
+        // A reset probe forgets the refusal.
+        ctx.begin_probe();
+        assert!(!ctx.fork_refused());
+    }
+
+    #[test]
+    fn probe_latches_errors_like_symbolic() {
+        let mut ctx = SymCtx::probe();
+        ctx.begin_probe();
+        ctx.fail(Error::IncompleteSummary);
+        assert!(ctx.has_error());
+        ctx.begin_probe();
+        assert!(!ctx.has_error(), "begin_probe clears latched errors");
     }
 
     #[test]

@@ -2,11 +2,17 @@
 //! control (§5.1–5.2 of the paper).
 
 use crate::ctx::SymCtx;
+use crate::engine::arena::{ArenaStats, ExploreArena};
 use crate::engine::merge::merge_paths;
 use crate::error::{Error, Result};
 use crate::state::make_state_symbolic;
 use crate::summary::{Summary, SummaryChain};
 use crate::uda::Uda;
+
+/// Consecutive fork-free records required before [`SymbolicExecutor::feed_slice`]
+/// opens a batch window (hysteresis against forky stretches, where probe
+/// windows would roll back more than they save).
+const CALM_STREAK: u32 = 4;
 
 /// When path merging is attempted (§5.2).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -35,6 +41,15 @@ pub struct EngineConfig {
     pub max_total_paths: usize,
     /// When to attempt path merging.
     pub merge_policy: MergePolicy,
+    /// Batch-window size for [`SymbolicExecutor::feed_slice`]: after a
+    /// calm (fork-free) streak, up to this many consecutive records are
+    /// applied *in place* on the live paths instead of cloning per run,
+    /// rolling back to full exploration the moment one forks. `0`
+    /// disables batching. Output-invariant — summaries and
+    /// [`ExploreStats`] are byte-identical for every value — so this knob
+    /// is deliberately **excluded** from checkpoint/cache config
+    /// fingerprints.
+    pub batch_window: usize,
 }
 
 impl Default for EngineConfig {
@@ -43,6 +58,7 @@ impl Default for EngineConfig {
             max_paths_per_record: 64,
             max_total_paths: 8,
             merge_policy: MergePolicy::HighWater,
+            batch_window: 32,
         }
     }
 }
@@ -104,9 +120,11 @@ pub struct SymbolicExecutor<'a, U: Uda> {
     emitted: Vec<Summary<U::State>>,
     high_water: usize,
     stats: ExploreStats,
-    /// Recycled buffer for the per-record exploration output, so the hot
-    /// loop allocates nothing in the steady state.
-    scratch: Vec<U::State>,
+    /// Recycled per-chunk allocations: generation buffers, batch-window
+    /// snapshots, and the reusable probe context.
+    arena: ExploreArena<U::State>,
+    /// Consecutive fork-free records seen; gates the batched fast path.
+    calm_streak: u32,
 }
 
 impl<'a, U: Uda> SymbolicExecutor<'a, U> {
@@ -124,7 +142,8 @@ impl<'a, U: Uda> SymbolicExecutor<'a, U> {
                 max_live_paths: 1,
                 ..ExploreStats::default()
             },
-            scratch: Vec::new(),
+            arena: ExploreArena::new(),
+            calm_streak: 0,
         }
     }
 
@@ -132,22 +151,25 @@ impl<'a, U: Uda> SymbolicExecutor<'a, U> {
     /// every feasible choice vector.
     pub fn feed(&mut self, e: &U::Event) -> Result<()> {
         self.stats.records += 1;
-        let mut out: Vec<U::State> = std::mem::take(&mut self.scratch);
-        out.clear();
+        self.arena.out.clear();
+        let forks_before = self.stats.forks;
         for path in &self.paths {
             let mut ctx = SymCtx::symbolic();
             loop {
+                // A shallow snapshot: aggregate fields share structure
+                // with `path` until written (COW at the type level).
                 let mut s = path.clone();
+                self.arena.stats.state_clones += 1;
                 ctx.begin_run();
                 self.uda.update(&mut s, &mut ctx, e);
                 if let Some(err) = ctx.take_error() {
                     return Err(err);
                 }
-                out.push(s);
+                self.arena.out.push(s);
                 self.stats.runs += 1;
-                if out.len() > self.cfg.max_paths_per_record {
+                if self.arena.out.len() > self.cfg.max_paths_per_record {
                     return Err(Error::PathExplosion {
-                        paths: out.len(),
+                        paths: self.arena.out.len(),
                         bound: self.cfg.max_paths_per_record,
                     });
                 }
@@ -158,19 +180,27 @@ impl<'a, U: Uda> SymbolicExecutor<'a, U> {
             self.stats.forks += ctx.forks_taken();
         }
 
+        let out = &mut self.arena.out;
         let do_merge = match self.cfg.merge_policy {
             MergePolicy::Eager => out.len() > 1,
             MergePolicy::HighWater => out.len() > self.high_water,
             MergePolicy::Never => false,
         };
         if do_merge {
-            self.stats.merges += merge_paths(&mut out);
+            self.stats.merges += merge_paths(out);
         }
         if self.cfg.merge_policy == MergePolicy::HighWater {
             self.high_water = self.high_water.max(out.len());
         }
         self.stats.max_live_paths = self.stats.max_live_paths.max(out.len());
-        self.scratch = std::mem::replace(&mut self.paths, out);
+        // Generation swap: the new paths move in, the previous generation
+        // becomes the next record's (cleared) output buffer.
+        std::mem::swap(&mut self.paths, &mut self.arena.out);
+        self.calm_streak = if self.stats.forks == forks_before {
+            self.calm_streak.saturating_add(1)
+        } else {
+            0
+        };
 
         if self.paths.len() > self.cfg.max_total_paths {
             self.flush_restart();
@@ -189,6 +219,88 @@ impl<'a, U: Uda> SymbolicExecutor<'a, U> {
         Ok(())
     }
 
+    /// Processes a slice of records, applying fork-free stretches in
+    /// batches.
+    ///
+    /// Semantically identical to calling [`SymbolicExecutor::feed`] per
+    /// record — summaries, [`ExploreStats`], and errors all match byte
+    /// for byte — but after a calm streak of fork-free records, windows of
+    /// up to [`EngineConfig::batch_window`] records are applied **in
+    /// place** on the live paths under a sealed probe context: one update
+    /// run per (record × path), zero clones, no merge/restart machinery.
+    /// The moment a probe run forks or errors, the window rolls back to
+    /// its snapshot and replays through full exploration.
+    ///
+    /// Under [`MergePolicy::Eager`] windows open only while a single path
+    /// is live: fork-free records with several live paths still reach the
+    /// merger under that policy, and batching must not skip it.
+    pub fn feed_slice(&mut self, events: &[U::Event]) -> Result<()> {
+        if self.cfg.batch_window == 0 {
+            return self.feed_all(events.iter());
+        }
+        let mut i = 0;
+        while i < events.len() {
+            if self.batch_ready() {
+                let end = (i + self.cfg.batch_window).min(events.len());
+                i += self.apply_window(&events[i..end])?;
+            } else {
+                self.feed(&events[i])?;
+                i += 1;
+            }
+        }
+        Ok(())
+    }
+
+    /// Whether the batched fast path may open a window right now.
+    fn batch_ready(&self) -> bool {
+        self.calm_streak >= CALM_STREAK
+            && !self.paths.is_empty()
+            && (self.cfg.merge_policy != MergePolicy::Eager || self.paths.len() == 1)
+    }
+
+    /// Applies one batch window in place, rolling back to the snapshot
+    /// and replaying through [`SymbolicExecutor::feed`] if any record
+    /// forks or errors. Returns how many of `window`'s records were
+    /// consumed (all of them on commit; up to and including the
+    /// anomalous record on rollback).
+    fn apply_window(&mut self, window: &[U::Event]) -> Result<usize> {
+        let live = self.paths.len();
+        self.arena.snapshots.clear();
+        self.arena.snapshots.extend(self.paths.iter().cloned());
+        self.arena.stats.snapshot_states += live as u64;
+        for (j, e) in window.iter().enumerate() {
+            for k in 0..live {
+                self.arena.probe.begin_probe();
+                self.uda
+                    .update(&mut self.paths[k], &mut self.arena.probe, e);
+                if self.arena.probe.fork_refused() || self.arena.probe.has_error() {
+                    // Restore the window-entry paths and replay the
+                    // committed prefix plus this record the slow way;
+                    // statistics were not yet applied for any of them, so
+                    // the replay accounts them exactly once.
+                    std::mem::swap(&mut self.paths, &mut self.arena.snapshots);
+                    self.arena.snapshots.clear();
+                    self.arena.stats.rollbacks += 1;
+                    self.calm_streak = 0;
+                    for e2 in &window[..=j] {
+                        self.feed(e2)?;
+                    }
+                    return Ok(j + 1);
+                }
+            }
+        }
+        // Window committed: account the batched records exactly as the
+        // slow path would have (one run per record × path, no forks).
+        let n = window.len() as u64;
+        self.stats.records += n;
+        self.stats.runs += n * live as u64;
+        self.arena.stats.batched_records += n;
+        self.arena.stats.in_place_runs += n * live as u64;
+        self.calm_streak = self.calm_streak.saturating_add(window.len() as u32);
+        self.arena.snapshots.clear();
+        Ok(window.len())
+    }
+
     /// The currently live paths (diagnostics; e.g. the Figure 3 demo
     /// prints them after every record).
     pub fn live_paths(&self) -> &[U::State] {
@@ -198,6 +310,12 @@ impl<'a, U: Uda> SymbolicExecutor<'a, U> {
     /// Exploration statistics so far.
     pub fn stats(&self) -> ExploreStats {
         self.stats
+    }
+
+    /// Allocation-behavior counters from the exploration arena
+    /// (diagnostics; not part of the checkpointed [`ExploreStats`]).
+    pub fn arena_stats(&self) -> ArenaStats {
+        self.arena.stats()
     }
 
     /// Flushes the live paths as a finished summary and restarts from
@@ -233,6 +351,9 @@ impl<'a, U: Uda> SymbolicExecutor<'a, U> {
             symple_obs::counter_add("engine.forks", self.stats.forks);
             symple_obs::counter_add("engine.merges", self.stats.merges);
             symple_obs::counter_add("engine.restarts", self.stats.restarts);
+            symple_obs::counter_add("engine.batched_records", self.arena.stats.batched_records);
+            symple_obs::counter_add("engine.in_place_runs", self.arena.stats.in_place_runs);
+            symple_obs::counter_add("engine.batch_rollbacks", self.arena.stats.rollbacks);
             symple_obs::counter_add("summary.disjuncts", chain.total_paths() as u64);
         }
         (chain, self.stats)
@@ -392,6 +513,7 @@ mod tests {
             max_paths_per_record: 4,
             max_total_paths: 1_000,
             merge_policy: MergePolicy::Never,
+            ..EngineConfig::default()
         };
         let mut exec = SymbolicExecutor::new(&uda, cfg);
         // Each record multiplies live paths; per-record bound trips.
@@ -412,6 +534,7 @@ mod tests {
             max_paths_per_record: 1_000,
             max_total_paths: 8,
             merge_policy: MergePolicy::Never,
+            ..EngineConfig::default()
         };
         let mut exec = SymbolicExecutor::new(&uda, cfg);
         for e in 0..10 {
@@ -439,6 +562,192 @@ mod tests {
         fn max_value(&self) -> i64 {
             self.v.concrete_value().unwrap()
         }
+    }
+
+    /// Forks only on negative events: positive stretches are fork-free
+    /// (batchable), negatives force rollback + full exploration.
+    struct MixedUda;
+
+    #[derive(Clone, Debug)]
+    struct MixedState {
+        min: SymInt,
+        n: SymInt,
+    }
+    impl_sym_state!(MixedState { min, n });
+
+    impl Uda for MixedUda {
+        type State = MixedState;
+        type Event = i64;
+        type Output = i64;
+        fn init(&self) -> MixedState {
+            MixedState {
+                min: SymInt::new(0),
+                n: SymInt::new(0),
+            }
+        }
+        fn update(&self, s: &mut MixedState, ctx: &mut SymCtx, e: &i64) {
+            s.n += 1;
+            if *e < 0 && s.min.gt(ctx, *e) {
+                s.min.assign(*e);
+            }
+        }
+        fn result(&self, s: &MixedState, _ctx: &mut SymCtx) -> i64 {
+            s.min.concrete_value().unwrap_or(0)
+        }
+    }
+
+    /// Mostly-calm stream with periodic forking records.
+    fn mixed_stream(n: usize) -> Vec<i64> {
+        (0..n as i64)
+            .map(|i| if i % 17 == 13 { -i } else { i % 7 })
+            .collect()
+    }
+
+    #[test]
+    fn feed_slice_is_byte_identical_to_feed() {
+        // The batched fast path must be invisible: identical summary
+        // bytes and identical ExploreStats for every merge policy, on a
+        // stream that exercises commits *and* rollbacks.
+        let events = mixed_stream(300);
+        for policy in [
+            MergePolicy::Eager,
+            MergePolicy::HighWater,
+            MergePolicy::Never,
+        ] {
+            let cfg = EngineConfig {
+                merge_policy: policy,
+                ..EngineConfig::default()
+            };
+            let mut per_record = SymbolicExecutor::new(&MixedUda, cfg);
+            per_record.feed_all(events.iter()).unwrap();
+            let (chain_a, stats_a) = per_record.finish();
+
+            let mut batched = SymbolicExecutor::new(&MixedUda, cfg);
+            batched.feed_slice(&events).unwrap();
+            let arena = batched.arena_stats();
+            let (chain_b, stats_b) = batched.finish();
+
+            assert_eq!(stats_a, stats_b, "stats differ under {policy:?}");
+            let (mut a, mut b) = (Vec::new(), Vec::new());
+            chain_a.encode(&mut a);
+            chain_b.encode(&mut b);
+            assert_eq!(a, b, "summary bytes differ under {policy:?}");
+            // The fast path must actually engage. Under Eager, once the
+            // first fork leaves two live paths batching is (correctly)
+            // ineligible, so the early window's rollback is the proof.
+            assert!(
+                arena.batched_records > 0 || arena.rollbacks > 0,
+                "the fast path never engaged under {policy:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn batch_rollback_replays_forking_record_exactly() {
+        // A window that hits a forking record rolls back and replays;
+        // the rollback counter proves the path ran, the stats equality
+        // proves it was invisible.
+        let mut events = vec![1i64; 40];
+        events.push(-100); // forks mid-window
+        events.extend(std::iter::repeat_n(2, 20));
+        let cfg = EngineConfig::default();
+
+        let mut per_record = SymbolicExecutor::new(&MixedUda, cfg);
+        per_record.feed_all(events.iter()).unwrap();
+        let mut batched = SymbolicExecutor::new(&MixedUda, cfg);
+        batched.feed_slice(&events).unwrap();
+
+        assert!(batched.arena_stats().rollbacks >= 1);
+        assert_eq!(per_record.stats(), batched.stats());
+        let (ca, _) = per_record.finish();
+        let (cb, _) = batched.finish();
+        let (mut a, mut b) = (Vec::new(), Vec::new());
+        ca.encode(&mut a);
+        cb.encode(&mut b);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn feed_slice_with_zero_window_is_plain_feed() {
+        let events = mixed_stream(100);
+        let cfg = EngineConfig {
+            batch_window: 0,
+            ..EngineConfig::default()
+        };
+        let mut exec = SymbolicExecutor::new(&MixedUda, cfg);
+        exec.feed_slice(&events).unwrap();
+        let arena = exec.arena_stats();
+        assert_eq!(arena.batched_records, 0);
+        assert_eq!(arena.in_place_runs, 0);
+        assert_eq!(exec.stats().records, 100);
+    }
+
+    /// Satellite regression: exploring a forky record over a state with a
+    /// large aggregate field must *share* the aggregate across the
+    /// resulting paths, not copy it — allocation scales with the path
+    /// count, never path count × state size.
+    struct VecLogUda;
+
+    #[derive(Clone, Debug)]
+    struct VecLogState {
+        log: crate::types::sym_vector::SymVector<i64>,
+        min: SymInt,
+    }
+    impl_sym_state!(VecLogState { log, min });
+
+    impl Uda for VecLogUda {
+        type State = VecLogState;
+        type Event = i64;
+        type Output = i64;
+        fn init(&self) -> VecLogState {
+            VecLogState {
+                log: crate::types::sym_vector::SymVector::new(),
+                min: SymInt::new(0),
+            }
+        }
+        fn update(&self, s: &mut VecLogState, ctx: &mut SymCtx, e: &i64) {
+            if *e >= 0 {
+                s.log.push(*e);
+            } else if s.min.gt(ctx, *e) {
+                s.min.assign(*e);
+            }
+        }
+        fn result(&self, s: &VecLogState, _ctx: &mut SymCtx) -> i64 {
+            s.log.len() as i64
+        }
+    }
+
+    #[test]
+    fn forked_paths_share_large_aggregate_storage() {
+        let uda = VecLogUda;
+        let mut exec = SymbolicExecutor::new(&uda, EngineConfig::default());
+        // Grow the aggregate to 1000 elements over fork-free records (the
+        // batched fast path applies these in place — zero clones).
+        let warmup: Vec<i64> = (0..1000).collect();
+        exec.feed_slice(&warmup).unwrap();
+        let calm_clones = exec.arena_stats().state_clones;
+        assert!(
+            exec.arena_stats().in_place_runs >= 900,
+            "calm records must batch"
+        );
+
+        // One forking record: every explored path snapshots the state.
+        exec.feed(&-5).unwrap();
+        let paths = exec.live_paths();
+        assert!(paths.len() >= 2, "the record must fork");
+        for w in paths.windows(2) {
+            assert!(
+                w[0].log.shares_storage_with(&w[1].log),
+                "sibling paths must share the untouched 1000-element log"
+            );
+        }
+        // The fork cost clones proportional to the explored runs — a
+        // handful — regardless of the 1000-element aggregate.
+        let fork_clones = exec.arena_stats().state_clones - calm_clones;
+        assert!(
+            fork_clones <= 8,
+            "fork over a big state took {fork_clones} clones"
+        );
     }
 
     #[test]

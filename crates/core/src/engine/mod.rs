@@ -7,7 +7,9 @@
 //! explosion by flushing partial summaries and restarting (the graceful
 //! fallback to sequential composition).
 
+pub mod arena;
 pub mod executor;
 pub mod merge;
 
+pub use arena::{ArenaStats, ExploreArena};
 pub use executor::{EngineConfig, ExploreStats, MergePolicy, SymbolicExecutor};

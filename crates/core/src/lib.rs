@@ -118,7 +118,7 @@ pub use validate::{validate_uda, UdaViolation};
 
 /// Convenience re-exports for UDA authors.
 pub mod prelude {
-    pub use crate::wire::{Wire, WireError};
+    pub use crate::wire::{Wire, WireBorrow, WireError};
     pub use crate::{
         apply_chain, apply_summary, compose_chain, compose_summaries, impl_sym_state,
         run_chunked_symbolic, run_sequential, EngineConfig, Error, MergePolicy, Result, Summary,

@@ -200,6 +200,17 @@ impl<T: VecElem> SymVector<T> {
         self.len += 1;
     }
 
+    /// Whether this vector's list physically shares its newest node with
+    /// `other` (diagnostics: lets tests pin that clones are O(1)
+    /// structure-sharing snapshots rather than deep copies).
+    pub fn shares_storage_with(&self, other: &SymVector<T>) -> bool {
+        match (&self.tail, &other.tail) {
+            (Some(a), Some(b)) => Arc::ptr_eq(a, b),
+            (None, None) => true,
+            _ => false,
+        }
+    }
+
     /// Appends a concrete element.
     pub fn push(&mut self, v: T) {
         self.push_elem(Elem::Concrete(v));

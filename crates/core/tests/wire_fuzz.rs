@@ -112,4 +112,74 @@ proptest! {
             prop_assert_eq!(re, re2, "encode∘decode must be idempotent");
         }
     }
+
+    /// Borrowed tier ≡ owned tier over arbitrary byte soup: identical
+    /// Ok/Err outcome, identical value, identical cursor advance.
+    #[test]
+    fn borrowed_string_decode_matches_owned(bytes in prop::collection::vec(any::<u8>(), 0..256)) {
+        use symple_core::wire::WireBorrow;
+        let mut owned_rd = &bytes[..];
+        let owned = String::decode(&mut owned_rd);
+        let mut borrowed_rd = &bytes[..];
+        let borrowed = <&str>::decode_borrowed(&mut borrowed_rd);
+        match (&owned, &borrowed) {
+            (Ok(o), Ok(b)) => {
+                prop_assert_eq!(o.as_str(), *b);
+                prop_assert_eq!(owned_rd, borrowed_rd);
+            }
+            (Err(a), Err(b)) => prop_assert_eq!(a, b),
+            _ => prop_assert!(false, "tiers disagree: owned {:?} vs borrowed {:?}", owned, borrowed),
+        }
+    }
+
+    /// Valid strings put through truncation and single-byte corruption:
+    /// the tiers must still agree bit-for-bit on outcome, including
+    /// invalid-UTF-8 payloads and cut-short length prefixes.
+    #[test]
+    fn borrowed_matches_owned_on_mutated_strings(
+        payload in prop::collection::vec(any::<u8>(), 0..64),
+        cut in 0usize..96,
+        at in 0usize..96,
+        xor in 0u8..=255,
+    ) {
+        use symple_core::wire::WireBorrow;
+        let s = String::from_utf8_lossy(&payload).into_owned();
+        let mut buf = Vec::new();
+        s.encode(&mut buf);
+        if at < buf.len() {
+            buf[at] ^= xor; // may corrupt the length, the payload, or (xor=0) nothing
+        }
+        let end = cut.min(buf.len());
+        let buf = &buf[..end];
+        let mut owned_rd = buf;
+        let owned = String::decode(&mut owned_rd);
+        let mut borrowed_rd = buf;
+        let borrowed = <&str>::decode_borrowed(&mut borrowed_rd);
+        match (&owned, &borrowed) {
+            (Ok(o), Ok(b)) => {
+                prop_assert_eq!(o.as_str(), *b);
+                prop_assert_eq!(owned_rd, borrowed_rd);
+            }
+            (Err(a), Err(b)) => prop_assert_eq!(a, b),
+            _ => prop_assert!(false, "tiers disagree: owned {:?} vs borrowed {:?}", owned, borrowed),
+        }
+    }
+
+    /// Composite records: the borrowed tuple tier tracks the owned one.
+    #[test]
+    fn borrowed_tuple_decode_matches_owned(bytes in prop::collection::vec(any::<u8>(), 0..128)) {
+        use symple_core::wire::WireBorrow;
+        let mut owned_rd = &bytes[..];
+        let owned = <(u64, String, bool)>::decode(&mut owned_rd);
+        let mut borrowed_rd = &bytes[..];
+        let borrowed = <(u64, &str, bool)>::decode_borrowed(&mut borrowed_rd);
+        match (&owned, &borrowed) {
+            (Ok((n1, s1, b1)), Ok((n2, s2, b2))) => {
+                prop_assert_eq!((n1, s1.as_str(), b1), (n2, *s2, b2));
+                prop_assert_eq!(owned_rd, borrowed_rd);
+            }
+            (Err(a), Err(b)) => prop_assert_eq!(a, b),
+            _ => prop_assert!(false, "tiers disagree: owned {:?} vs borrowed {:?}", owned, borrowed),
+        }
+    }
 }

@@ -170,6 +170,7 @@ fn probe(uda: &AstUda, events: &[i64]) -> (String, ExploreStats) {
         max_paths_per_record: 1024,
         max_total_paths: 8,
         merge_policy: MergePolicy::HighWater,
+        ..EngineConfig::default()
     };
     let mut ex = SymbolicExecutor::new(uda, cfg);
     let mut outcome = "ok".to_string();

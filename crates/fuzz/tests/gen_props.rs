@@ -48,6 +48,7 @@ proptest! {
             max_paths_per_record: 1024,
             max_total_paths: 8,
             merge_policy: MergePolicy::HighWater,
+            ..EngineConfig::default()
         };
         let a = analyze_uda(&uda, &variants);
         let b = analyze_uda(&uda, &variants);
@@ -71,6 +72,7 @@ proptest! {
             max_paths_per_record: 1024,
             max_total_paths: 8,
             merge_policy: MergePolicy::HighWater,
+            ..EngineConfig::default()
         };
         let analysis = analyze_uda(&uda, &variants);
         if analysis.any_exploded() {

@@ -2,8 +2,9 @@
 //!
 //! Since the fault-tolerant scheduler landed ([`crate::scheduler`]), this
 //! module is a thin façade over [`crate::scheduler::run_scheduled`] with
-//! the default configuration and no fault hooks: tasks are pulled from a
-//! shared queue so long-running tasks do not serialize behind short ones,
+//! the default configuration and no fault hooks: tasks are dealt onto
+//! per-worker stealing deques so long-running tasks do not serialize
+//! behind short ones,
 //! results are written back by index so output order is deterministic
 //! regardless of scheduling, and a panicking task surfaces as a typed
 //! error instead of unwinding the whole scope. All timing counters are
@@ -12,6 +13,8 @@
 //! targets.
 
 use std::time::Duration;
+
+use symple_core::error::Result;
 
 use crate::scheduler::{run_scheduled, SchedulerConfig};
 
@@ -34,25 +37,28 @@ pub struct PhaseTiming {
 /// their measured busy time, corrupting the CPU accounting that the
 /// cluster models extrapolate from.
 ///
-/// # Panics
+/// # Errors
 ///
-/// Panics if a task panics on its final allowed attempt — callers needing
-/// a typed error (the job layers do) use [`run_scheduled`] directly.
-pub fn run_tasks<T, R, F>(items: Vec<T>, workers: usize, f: F) -> (Vec<R>, PhaseTiming)
+/// A task that panics (or fails) on its final allowed attempt surfaces as
+/// the scheduler's typed error ([`symple_core::Error::TaskPanicked`] or
+/// [`symple_core::Error::RetriesExhausted`]) instead of aborting the whole
+/// job, so callers can degrade along the salvage path.
+pub fn run_tasks<T, R, F>(items: Vec<T>, workers: usize, f: F) -> Result<(Vec<R>, PhaseTiming)>
 where
     T: Send + Sync,
     R: Send,
     F: Fn(usize, &T) -> R + Sync,
 {
     let _span = symple_obs::span("pool.run_tasks");
-    let run = run_scheduled(&items, workers, &SchedulerConfig::default(), None, f)
-        .unwrap_or_else(|e| panic!("pool task failed: {e}"));
-    (run.results, run.timing)
+    let run = run_scheduled(&items, workers, &SchedulerConfig::default(), None, f)?;
+    Ok((run.results, run.timing))
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    use symple_core::Error;
 
     #[test]
     fn results_in_input_order() {
@@ -60,7 +66,8 @@ mod tests {
         let (out, t) = run_tasks(items, 4, |i, x| {
             assert_eq!(i, *x);
             x * 2
-        });
+        })
+        .unwrap();
         assert_eq!(out, (0..100).map(|x| x * 2).collect::<Vec<_>>());
         assert!(t.cpu >= t.max_task);
         assert!(t.wall >= Duration::ZERO);
@@ -68,15 +75,15 @@ mod tests {
 
     #[test]
     fn single_worker_and_empty() {
-        let (out, _) = run_tasks(vec![1, 2, 3], 1, |_, x| x + 1);
+        let (out, _) = run_tasks(vec![1, 2, 3], 1, |_, x| x + 1).unwrap();
         assert_eq!(out, vec![2, 3, 4]);
-        let (out, _) = run_tasks(Vec::<i32>::new(), 4, |_, x| *x);
+        let (out, _) = run_tasks(Vec::<i32>::new(), 4, |_, x| *x).unwrap();
         assert!(out.is_empty());
     }
 
     #[test]
     fn more_workers_than_tasks() {
-        let (out, t) = run_tasks(vec![5], 16, |_, x| *x);
+        let (out, t) = run_tasks(vec![5], 16, |_, x| *x).unwrap();
         assert_eq!(out, vec![5]);
         assert!(t.max_task <= t.cpu);
     }
@@ -90,19 +97,24 @@ mod tests {
                 acc = acc.wrapping_add(i * i);
             }
             acc
-        });
+        })
+        .unwrap();
         assert!(t.cpu > Duration::ZERO);
         assert!(t.max_task > Duration::ZERO);
     }
 
     #[test]
-    #[should_panic(expected = "pool task failed")]
     fn pool_panic_is_reported_not_unwound() {
-        let _ = run_tasks(vec![0u8; 3], 2, |i, _| {
+        let err = run_tasks(vec![0u8; 3], 2, |i, _| {
             if i == 1 {
                 panic!("boom");
             }
             i
-        });
+        })
+        .unwrap_err();
+        assert!(
+            matches!(err, Error::TaskPanicked { task: 1, .. }),
+            "{err:?}"
+        );
     }
 }

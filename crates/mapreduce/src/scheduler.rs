@@ -36,10 +36,25 @@
 //! clone models re-execution on a different machine, outside the injected
 //! crash plan's attempt slots — and skipping the hook keeps the injected
 //! retry count deterministic regardless of host timing.
+//!
+//! # Work distribution: stealing deques
+//!
+//! Tasks are dealt round-robin onto **per-worker deques** rather than one
+//! shared queue. A worker pops from the front of its own deque; when that
+//! runs dry it scans its siblings round-robin and *steals* from the back
+//! of the first non-empty one ([`SchedulerStats::steals`] counts these).
+//! Skewed phases — one worker stuck with the forkiest chunks — therefore
+//! rebalance automatically instead of serializing behind the busy worker,
+//! and in the balanced case each worker owns an uncontended queue instead
+//! of all workers hammering one mutex. Retries are requeued on the deque
+//! of the worker that observed the failure; speculative clones go to the
+//! idle worker that spotted the straggler (it is about to go looking for
+//! work anyway). Result writeback stays by-index, so the output order is
+//! deterministic no matter which worker ran what.
 
 use std::collections::VecDeque;
 use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Condvar, Mutex};
 use std::time::{Duration, Instant};
 
@@ -164,6 +179,9 @@ pub struct SchedulerStats {
     pub speculative_launches: u64,
     /// Speculative clones whose result won the race.
     pub speculative_wins: u64,
+    /// Work items a worker took from a sibling's deque (load-balancing
+    /// traffic; zero on perfectly balanced phases).
+    pub steals: u64,
     /// Busy time of attempts whose work was discarded (injected failures,
     /// panics, and race losers) — the price of fault tolerance.
     pub retry_wasted_cpu: Duration,
@@ -211,10 +229,10 @@ struct TaskState {
     speculated: bool,
 }
 
-/// Queue shared by the workers.
+/// Phase-level coordination (completion and failure), deliberately tiny:
+/// the work itself lives in the per-worker deques.
 #[derive(Debug)]
-struct QueueState {
-    work: VecDeque<Work>,
+struct Coord {
     /// Tasks not yet resolved (done or failed terminally).
     remaining: usize,
     /// First terminal error; once set, no new attempts start.
@@ -222,7 +240,14 @@ struct QueueState {
 }
 
 struct Shared<R> {
-    queue: Mutex<QueueState>,
+    /// One work deque per worker: the owner pops the front, thieves take
+    /// the back.
+    deques: Vec<Mutex<VecDeque<Work>>>,
+    coord: Mutex<Coord>,
+    /// Approximate count of queued work across all deques. Kept outside
+    /// the coord mutex; a stale zero only costs an idle worker one
+    /// `IDLE_NAP` timeout, which the wait loop already tolerates.
+    queued: AtomicUsize,
     cv: Condvar,
     tasks: Vec<Mutex<TaskState>>,
     results: Vec<Mutex<Option<R>>>,
@@ -241,7 +266,60 @@ struct Shared<R> {
     panics: AtomicU64,
     speculative_launches: AtomicU64,
     speculative_wins: AtomicU64,
+    steals: AtomicU64,
     backoff_nanos: AtomicU64,
+}
+
+impl<R> Shared<R> {
+    /// Queues `w` on `target`'s deque and wakes idle workers, unless the
+    /// phase has already gone fatal.
+    fn push_work(&self, target: usize, w: Work) {
+        if self.coord.lock().unwrap().fatal.is_some() {
+            return;
+        }
+        self.deques[target].lock().unwrap().push_back(w);
+        self.queued.fetch_add(1, Ordering::Release);
+        self.cv.notify_all();
+    }
+
+    /// Pops work for worker `wid`: own deque first (front), then a
+    /// round-robin scan stealing from siblings' backs.
+    fn pop_work(&self, wid: usize) -> Option<Work> {
+        if let Some(w) = self.deques[wid].lock().unwrap().pop_front() {
+            self.note_dequeued();
+            return Some(w);
+        }
+        let k = self.deques.len();
+        for off in 1..k {
+            let victim = (wid + off) % k;
+            let stolen = self.deques[victim].lock().unwrap().pop_back();
+            if let Some(w) = stolen {
+                self.note_dequeued();
+                self.steals.fetch_add(1, Ordering::Relaxed);
+                return Some(w);
+            }
+        }
+        None
+    }
+
+    /// Decrements the queued estimate, saturating at zero (a concurrent
+    /// fatal drain may have already reset it).
+    fn note_dequeued(&self) {
+        let _ = self
+            .queued
+            .fetch_update(Ordering::Release, Ordering::Relaxed, |v| {
+                Some(v.saturating_sub(1))
+            });
+    }
+
+    /// Drains every deque (after a fatal error: no point starting more
+    /// attempts).
+    fn drain_deques(&self) {
+        for d in &self.deques {
+            d.lock().unwrap().clear();
+        }
+        self.queued.store(0, Ordering::Release);
+    }
 }
 
 /// Simulated backoff charged before `attempt` (1-based; the first attempt
@@ -292,19 +370,23 @@ where
     symple_obs::gauge_set("sched.workers", workers as i64);
     let wall_start = Instant::now();
 
+    // Deal initial tasks round-robin onto the per-worker deques.
+    let mut initial: Vec<VecDeque<Work>> = (0..workers).map(|_| VecDeque::new()).collect();
+    for task in 0..n {
+        initial[task % workers].push_back(Work {
+            task,
+            attempt: 1,
+            speculative: false,
+            backoff: Duration::ZERO,
+        });
+    }
     let shared = Shared {
-        queue: Mutex::new(QueueState {
-            work: (0..n)
-                .map(|task| Work {
-                    task,
-                    attempt: 1,
-                    speculative: false,
-                    backoff: Duration::ZERO,
-                })
-                .collect(),
+        deques: initial.into_iter().map(Mutex::new).collect(),
+        coord: Mutex::new(Coord {
             remaining: n,
             fatal: None,
         }),
+        queued: AtomicUsize::new(n),
         cv: Condvar::new(),
         tasks: (0..n)
             .map(|_| {
@@ -325,13 +407,16 @@ where
         panics: AtomicU64::new(0),
         speculative_launches: AtomicU64::new(0),
         speculative_wins: AtomicU64::new(0),
+        steals: AtomicU64::new(0),
         backoff_nanos: AtomicU64::new(0),
     };
 
     if n > 0 {
         std::thread::scope(|scope| {
-            for _ in 0..workers {
-                scope.spawn(|| worker_loop(&shared, cfg, max_attempts, faults, &f, items));
+            for wid in 0..workers {
+                let shared = &shared;
+                let f = &f;
+                scope.spawn(move || worker_loop(shared, wid, cfg, max_attempts, faults, f, items));
             }
         });
     }
@@ -347,6 +432,7 @@ where
         panics: shared.panics.load(Ordering::Relaxed),
         speculative_launches: shared.speculative_launches.load(Ordering::Relaxed),
         speculative_wins: shared.speculative_wins.load(Ordering::Relaxed),
+        steals: shared.steals.load(Ordering::Relaxed),
         retry_wasted_cpu: Duration::from_nanos(shared.wasted_nanos.load(Ordering::Relaxed)),
         simulated_backoff: Duration::from_nanos(shared.backoff_nanos.load(Ordering::Relaxed)),
         records: shared.records.into_inner().unwrap(),
@@ -356,8 +442,9 @@ where
     symple_obs::counter_add("sched.panics", stats.panics);
     symple_obs::counter_add("sched.speculative_launches", stats.speculative_launches);
     symple_obs::counter_add("sched.speculative_wins", stats.speculative_wins);
+    symple_obs::counter_add("sched.steals", stats.steals);
 
-    let fatal = shared.queue.into_inner().unwrap().fatal;
+    let fatal = shared.coord.into_inner().unwrap().fatal;
     if let Some(e) = fatal {
         return Err(e);
     }
@@ -376,8 +463,10 @@ where
 /// How long an idle worker naps between straggler checks.
 const IDLE_NAP: Duration = Duration::from_micros(500);
 
+#[allow(clippy::too_many_arguments)]
 fn worker_loop<T, R, F>(
     shared: &Shared<R>,
+    wid: usize,
     cfg: &SchedulerConfig,
     max_attempts: u32,
     faults: Option<&dyn TaskFaults>,
@@ -388,37 +477,43 @@ fn worker_loop<T, R, F>(
     R: Send,
     F: Fn(usize, &T) -> R + Sync,
 {
-    while let Some(work) = next_work(shared, cfg) {
-        run_attempt(shared, cfg, max_attempts, faults, f, items, work);
+    while let Some(work) = next_work(shared, cfg, wid) {
+        run_attempt(shared, cfg, max_attempts, faults, f, items, wid, work);
     }
 }
 
-/// Pops the next unit of work, speculating on stragglers while idle.
-/// Returns `None` when the phase is over (all tasks resolved, or a fatal
-/// error drained the queue).
-fn next_work<R>(shared: &Shared<R>, cfg: &SchedulerConfig) -> Option<Work> {
-    let mut q = shared.queue.lock().unwrap();
+/// Pops (or steals) the next unit of work for worker `wid`, speculating on
+/// stragglers while idle. Returns `None` when the phase is over (all tasks
+/// resolved, or a fatal error drained the deques).
+///
+/// The termination check runs *before* the pop: after a fatal error a
+/// racing `push_work` may leave an item behind in some deque, and it must
+/// be abandoned, not executed.
+fn next_work<R>(shared: &Shared<R>, cfg: &SchedulerConfig, wid: usize) -> Option<Work> {
     loop {
-        if let Some(w) = q.work.pop_front() {
-            return Some(w);
+        {
+            let c = shared.coord.lock().unwrap();
+            if c.remaining == 0 || c.fatal.is_some() {
+                return None;
+            }
         }
-        if q.remaining == 0 || q.fatal.is_some() {
-            return None;
+        if let Some(w) = shared.pop_work(wid) {
+            return Some(w);
         }
         // Idle while tasks are still in flight: look for stragglers, then
         // nap until either new work arrives or the phase completes.
-        drop(q);
-        maybe_speculate(shared, cfg);
-        q = shared.queue.lock().unwrap();
-        if q.work.is_empty() && q.remaining > 0 && q.fatal.is_none() {
-            q = shared.cv.wait_timeout(q, IDLE_NAP).unwrap().0;
+        maybe_speculate(shared, cfg, wid);
+        let c = shared.coord.lock().unwrap();
+        if c.remaining > 0 && c.fatal.is_none() && shared.queued.load(Ordering::Acquire) == 0 {
+            let _ = shared.cv.wait_timeout(c, IDLE_NAP).unwrap();
         }
     }
 }
 
 /// Launches speculative clones for running tasks that exceed the straggler
-/// threshold. Called only by otherwise-idle workers.
-fn maybe_speculate<R>(shared: &Shared<R>, cfg: &SchedulerConfig) {
+/// threshold. Called only by otherwise-idle workers; the clones land on the
+/// spotter's own deque (it is about to go looking for work anyway).
+fn maybe_speculate<R>(shared: &Shared<R>, cfg: &SchedulerConfig, wid: usize) {
     if !cfg.speculation {
         return;
     }
@@ -465,10 +560,8 @@ fn maybe_speculate<R>(shared: &Shared<R>, cfg: &SchedulerConfig) {
     shared
         .speculative_launches
         .fetch_add(launches.len() as u64, Ordering::Relaxed);
-    let mut q = shared.queue.lock().unwrap();
-    if q.fatal.is_none() {
-        q.work.extend(launches);
-        shared.cv.notify_all();
+    for w in launches {
+        shared.push_work(wid, w);
     }
 }
 
@@ -480,6 +573,7 @@ fn run_attempt<T, R, F>(
     faults: Option<&dyn TaskFaults>,
     f: &F,
     items: &[T],
+    wid: usize,
     w: Work,
 ) where
     T: Sync,
@@ -533,6 +627,7 @@ fn run_attempt<T, R, F>(
                     shared,
                     cfg,
                     max_attempts,
+                    wid,
                     w,
                     busy,
                     AttemptOutcome::InjectedFailure,
@@ -543,7 +638,15 @@ fn run_attempt<T, R, F>(
         }
         Err(_panic) => {
             shared.panics.fetch_add(1, Ordering::Relaxed);
-            finish_failure(shared, cfg, max_attempts, w, busy, AttemptOutcome::Panicked);
+            finish_failure(
+                shared,
+                cfg,
+                max_attempts,
+                wid,
+                w,
+                busy,
+                AttemptOutcome::Panicked,
+            );
         }
     }
 }
@@ -587,8 +690,7 @@ fn finish_success<R>(shared: &Shared<R>, w: Work, busy: Duration, result: R) {
             shared.speculative_wins.fetch_add(1, Ordering::Relaxed);
         }
         record(shared, w, busy, AttemptOutcome::Succeeded);
-        let mut q = shared.queue.lock().unwrap();
-        q.remaining -= 1;
+        shared.coord.lock().unwrap().remaining -= 1;
         shared.cv.notify_all();
     } else {
         // The twin already won; this work is the cost of speculation.
@@ -603,6 +705,7 @@ fn finish_failure<R>(
     shared: &Shared<R>,
     cfg: &SchedulerConfig,
     max_attempts: u32,
+    wid: usize,
     w: Work,
     busy: Duration,
     outcome: AttemptOutcome,
@@ -621,7 +724,8 @@ fn finish_failure<R>(
         return; // A twin already resolved the task either way.
     }
     if t.attempts_started < max_attempts {
-        // Retry with simulated backoff.
+        // Retry with simulated backoff, requeued on the deque of the
+        // worker that observed the failure.
         t.attempts_started += 1;
         let retry = Work {
             task: w.task,
@@ -630,11 +734,7 @@ fn finish_failure<R>(
             backoff: backoff_for(cfg, t.attempts_started),
         };
         drop(t);
-        let mut q = shared.queue.lock().unwrap();
-        if q.fatal.is_none() {
-            q.work.push_back(retry);
-            shared.cv.notify_all();
-        }
+        shared.push_work(wid, retry);
         return;
     }
     if t.in_flight > 0 {
@@ -654,11 +754,18 @@ fn finish_failure<R>(
             attempts: max_attempts,
         },
     };
-    let mut q = shared.queue.lock().unwrap();
-    q.remaining -= 1;
-    if q.fatal.is_none() {
-        q.fatal = Some(err);
-        q.work.clear(); // Drain: no point starting more attempts.
+    let went_fatal = {
+        let mut c = shared.coord.lock().unwrap();
+        c.remaining -= 1;
+        if c.fatal.is_none() {
+            c.fatal = Some(err);
+            true
+        } else {
+            false
+        }
+    };
+    if went_fatal {
+        shared.drain_deques(); // No point starting more attempts.
     }
     shared.cv.notify_all();
 }
@@ -888,6 +995,36 @@ mod tests {
         assert!(run.stats.speculative_wins >= 1, "{:?}", run.stats);
         // The straggler's own result arrived after the clone's: wasted CPU.
         assert!(run.stats.retry_wasted_cpu >= Duration::from_millis(250));
+    }
+
+    #[test]
+    fn skewed_phase_rebalances_via_steals() {
+        if std::thread::available_parallelism()
+            .map(|p| p.get())
+            .unwrap_or(1)
+            < 2
+        {
+            return; // Stealing needs a second worker.
+        }
+        // Round-robin dealing puts every slow (even) task on worker 0's
+        // deque and every fast (odd) task on worker 1's. Worker 1 drains
+        // its own deque in microseconds and must then steal from worker 0
+        // to finish the phase in parallel.
+        let items: Vec<i64> = (0..8).collect();
+        let cfg = SchedulerConfig {
+            speculation: false,
+            ..SchedulerConfig::default()
+        };
+        let run = run_scheduled(&items, 2, &cfg, None, |i, x| {
+            if i % 2 == 0 {
+                std::thread::sleep(Duration::from_millis(15));
+            }
+            x * 2
+        })
+        .unwrap();
+        assert_eq!(run.results, doubled(&items));
+        assert!(run.stats.steals >= 1, "{:?}", run.stats);
+        assert_eq!(run.stats.attempts, 8);
     }
 
     #[test]

@@ -602,7 +602,10 @@ where
             encode_chain_payload(&SummaryChain::single(Summary::singleton(state)))
         } else {
             let mut exec = SymbolicExecutor::new(uda, cfg.engine);
-            match exec.feed_all(events.iter()) {
+            // `feed_slice` engages the batched fast path on calm stretches;
+            // it is byte-identical to per-record `feed` (executor tests pin
+            // this), so summaries and caches are unaffected.
+            match exec.feed_slice(events) {
                 Ok(()) => {
                     let (chain, s) = exec.finish();
                     stats.records += s.records;

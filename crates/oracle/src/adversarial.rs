@@ -207,6 +207,7 @@ mod tests {
             max_paths_per_record: 64,
             max_total_paths: 4,
             merge_policy: MergePolicy::Never,
+            ..EngineConfig::default()
         };
         let mut exec = SymbolicExecutor::new(&RestartProneUda, cfg);
         exec.feed_all(events.iter()).unwrap();

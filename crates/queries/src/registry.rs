@@ -591,6 +591,74 @@ mod tests {
         }
     }
 
+    #[test]
+    fn batched_application_is_output_invariant_across_queries() {
+        // The batched fast path (`EngineConfig::batch_window`) must be
+        // invisible in every query's output on every backend that runs the
+        // symbolic engine: identical hashes with the window at its default
+        // and fully disabled.
+        let scale = DataScale {
+            records: 4_000,
+            groups: 40,
+            segments: 4,
+            seed: 13,
+            parse_lines: false,
+        };
+        let batched = JobConfig::default();
+        assert!(
+            batched.engine.batch_window > 0,
+            "default config must enable batching"
+        );
+        let mut unbatched = JobConfig::default();
+        unbatched.engine.batch_window = 0;
+        for q in all_queries() {
+            let id = q.info().id;
+            for backend in Backend::ALL {
+                let a = q.run(&scale, backend, &batched).unwrap();
+                let b = q.run(&scale, backend, &unbatched).unwrap();
+                assert_eq!(a.output_hash, b.output_hash, "query {id} on {backend:?}");
+                assert_eq!(a.output_rows, b.output_rows, "query {id} on {backend:?}");
+            }
+        }
+    }
+
+    /// Manual perf measurement behind the EXPERIMENTS.md throughput table:
+    /// map-phase wall time per query at 1M rows, batched window (default)
+    /// vs disabled. Run with
+    /// `cargo test --release -p symple-queries --lib map_throughput -- --ignored --nocapture`.
+    #[test]
+    #[ignore = "manual perf measurement at 1M rows"]
+    fn map_throughput_batched_vs_unbatched() {
+        let scale = DataScale {
+            records: 1_000_000,
+            groups: 1_000,
+            segments: 8,
+            seed: 42,
+            parse_lines: false,
+        };
+        let batched = JobConfig::default();
+        let mut unbatched = JobConfig::default();
+        unbatched.engine.batch_window = 0;
+        const ROUNDS: usize = 3;
+        println!("query  unbatched_ms  batched_ms  speedup");
+        for q in all_queries() {
+            let id = q.info().id;
+            let mut best = [f64::MAX; 2];
+            for _ in 0..ROUNDS {
+                for (slot, job) in [(0, &unbatched), (1, &batched)] {
+                    let r = q.run(&scale, Backend::Symple, job).unwrap();
+                    best[slot] = best[slot].min(r.metrics.map_wall.as_secs_f64() * 1e3);
+                }
+            }
+            println!(
+                "{id:>5}  {unb:>12.1}  {bat:>10.1}  {sp:>6.2}x",
+                unb = best[0],
+                bat = best[1],
+                sp = best[0] / best[1],
+            );
+        }
+    }
+
     /// Raw log lines for `id`'s dataset at `scale` — the same generator
     /// `run` uses, materialized so tests can replay exact append deltas.
     fn lines_for(id: &str, scale: &DataScale) -> Vec<String> {

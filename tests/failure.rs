@@ -88,6 +88,7 @@ fn per_record_explosion_bound_trips() {
         max_paths_per_record: 8,
         max_total_paths: 1_000,
         merge_policy: MergePolicy::Never,
+        ..EngineConfig::default()
     };
     let mut exec = SymbolicExecutor::new(&ExplodingUda, cfg);
     let mut tripped = false;
@@ -113,6 +114,7 @@ fn restart_fallback_tames_the_same_uda() {
         max_paths_per_record: 1_000,
         max_total_paths: 4,
         merge_policy: MergePolicy::Never,
+        ..EngineConfig::default()
     };
     let mut exec = SymbolicExecutor::new(&ExplodingUda, cfg);
     for e in 1..64i64 {
@@ -310,6 +312,7 @@ proptest! {
             max_total_paths: 4,
             merge_policy: [MergePolicy::Eager, MergePolicy::HighWater, MergePolicy::Never]
                 [policy_idx],
+            ..EngineConfig::default()
         };
         let seq = run_sequential(&ExplodingUda, events.iter()).unwrap();
         match run_chunked_symbolic(&ExplodingUda, &events, chunks, &cfg) {

@@ -143,9 +143,9 @@ proptest! {
         let task = |i: usize, x: &i64| -> (usize, i64) {
             (i, x.wrapping_mul(31).wrapping_add(i as i64))
         };
-        let (one, t1) = run_tasks(items.clone(), 1, task);
+        let (one, t1) = run_tasks(items.clone(), 1, task).unwrap();
         for workers in [2usize, 8] {
-            let (out, t) = run_tasks(items.clone(), workers, task);
+            let (out, t) = run_tasks(items.clone(), workers, task).unwrap();
             prop_assert_eq!(&out, &one, "workers={}", workers);
             prop_assert!(t.cpu >= t.max_task, "workers={}: cpu < max_task", workers);
         }
