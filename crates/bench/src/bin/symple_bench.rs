@@ -17,9 +17,9 @@
 //! `--smoke` measures a 4-query subset at small scale (the CI job);
 //! `--obs` additionally enables the tracing layer and prints its span /
 //! counter snapshot to stderr. The default output file is
-//! `BENCH_pr9.json`, which doubles as the current file for `--baseline`
+//! `BENCH_pr10.json`, which doubles as the current file for `--baseline`
 //! when no explicit CURRENT is given — so
-//! `symple-bench --baseline BENCH_pr9.json` self-diffs the checked-in
+//! `symple-bench --baseline BENCH_pr10.json` self-diffs the checked-in
 //! report and must report zero regressions.
 
 use std::process::ExitCode;
@@ -31,7 +31,7 @@ use symple_mapreduce::{JobConfig, SchedulerConfig};
 use symple_queries::{runner_by_id, Backend};
 
 /// Default report path (also the checked-in artifact name for this PR).
-const DEFAULT_OUT: &str = "BENCH_pr9.json";
+const DEFAULT_OUT: &str = "BENCH_pr10.json";
 /// Default regression threshold, percent.
 const DEFAULT_THRESHOLD: f64 = 25.0;
 
@@ -343,7 +343,8 @@ fn measure_and_emit(opts: &Opts) -> ExitCode {
         let scheduler_ok = scheduler_overhead_gate(records);
         let checkpoint_ok = checkpoint_overhead_gate(records);
         let cache_ok = summary_cache_gates(records, opts.warm_fraction);
-        if !(scheduler_ok && checkpoint_ok && cache_ok) {
+        let storage_io_ok = storage_io_overhead_gate();
+        if !(scheduler_ok && checkpoint_ok && cache_ok && storage_io_ok) {
             return ExitCode::FAILURE;
         }
     }
@@ -804,4 +805,95 @@ fn summary_cache_gates(records: usize, warm_fraction: f64) -> bool {
         if warm_ok { "ok" } else { "FAILED" }
     );
     overhead_ok && warm_ok
+}
+
+/// Gate (smoke mode only): the `StoreIo` indirection — trait-object
+/// dispatch, the retry engine's wrapping, and ledger atomics — must cost
+/// ≤ [`OVERHEAD_GATE_PCT`] wall time on the disk hot path relative to
+/// bare `std::fs` performing the *identical* create-dir / tmp-write /
+/// atomic-rename / read-back sequence. This pins the price of making
+/// every store operation injectable at zero fault load.
+fn storage_io_overhead_gate() -> bool {
+    use std::time::Instant;
+    use symple_mapreduce::StoreEngine;
+
+    // Enough round-trips that the sequence dominates timer noise, small
+    // enough to stay millisecond-scale per round.
+    const FILES: usize = 64;
+    let payload = vec![0xa5u8; 4 << 10];
+    let pid = std::process::id();
+    let dir_engine = std::env::temp_dir().join(format!("symple-storeio-gate-engine-{pid}"));
+    let dir_bare = std::env::temp_dir().join(format!("symple-storeio-gate-bare-{pid}"));
+    let engine = StoreEngine::real();
+
+    let mut min_engine = Duration::MAX;
+    let mut min_bare = Duration::MAX;
+    for _ in 0..OVERHEAD_ROUNDS {
+        // Interleaved, fresh directories each round so both sides pay
+        // the same dentry-cache profile.
+        for (dir, bare, slot) in [
+            (&dir_engine, false, &mut min_engine),
+            (&dir_bare, true, &mut min_bare),
+        ] {
+            let _ = std::fs::remove_dir_all(dir);
+            let started = Instant::now();
+            let mut ok = true;
+            for i in 0..FILES {
+                let path = dir.join(format!("f{i}.bin"));
+                let tmp = dir.join(format!("f{i}.tmp"));
+                let result: std::io::Result<Vec<u8>> = if bare {
+                    std::fs::create_dir_all(dir)
+                        .and_then(|()| std::fs::write(&tmp, &payload))
+                        .and_then(|()| std::fs::rename(&tmp, &path))
+                        .and_then(|()| std::fs::read(&path))
+                } else {
+                    engine
+                        .run(|io| {
+                            io.create_dir_all(dir)?;
+                            io.write(&tmp, &payload)?;
+                            io.rename(&tmp, &path)
+                        })
+                        .and_then(|()| engine.run(|io| io.read(&path)))
+                };
+                if let Err(e) = result {
+                    eprintln!("symple-bench: storage I/O gate round failed: {e}");
+                    ok = false;
+                    break;
+                }
+            }
+            if !ok {
+                let _ = std::fs::remove_dir_all(&dir_engine);
+                let _ = std::fs::remove_dir_all(&dir_bare);
+                return false;
+            }
+            *slot = (*slot).min(started.elapsed());
+        }
+    }
+    let _ = std::fs::remove_dir_all(&dir_engine);
+    let _ = std::fs::remove_dir_all(&dir_bare);
+
+    let overhead = min_engine.saturating_sub(min_bare);
+    let overhead_pct = if min_bare.is_zero() {
+        0.0
+    } else {
+        overhead.as_secs_f64() / min_bare.as_secs_f64() * 100.0
+    };
+    println!(
+        "storage I/O indirection: engine {e:.3}ms vs bare fs {b:.3}ms \
+         (+{o:.2}%, gate {g}%, floor {nf}ms, min of {r} interleaved rounds x {n} files)",
+        e = min_engine.as_secs_f64() * 1e3,
+        b = min_bare.as_secs_f64() * 1e3,
+        o = overhead_pct,
+        g = OVERHEAD_GATE_PCT,
+        nf = OVERHEAD_NOISE_FLOOR.as_millis(),
+        r = OVERHEAD_ROUNDS,
+        n = FILES,
+    );
+    if overhead_pct <= OVERHEAD_GATE_PCT || overhead <= OVERHEAD_NOISE_FLOOR {
+        println!("storage I/O overhead gate: ok");
+        true
+    } else {
+        println!("storage I/O overhead gate: FAILED");
+        false
+    }
 }

@@ -24,7 +24,7 @@ use std::collections::HashMap;
 use std::fs;
 use std::io;
 use std::path::{Path, PathBuf};
-use std::sync::Mutex;
+use std::sync::{Arc, Mutex};
 
 use symple_core::frame::{
     decode_frame, decode_frame_unchecked, encode_frame, fnv1a, fnv1a_extend, FrameCheck, FrameMeta,
@@ -32,6 +32,7 @@ use symple_core::frame::{
 
 use crate::checkpoint::config_fingerprint;
 use crate::job::{JobConfig, ReduceStrategy};
+use crate::store_io::{IoCounts, RetryPolicy, StoreEngine, StoreIo};
 
 /// Where cache frames live. Implementations store and retrieve *opaque
 /// frame bytes* keyed by `(config fingerprint, chunk content digest)`; all
@@ -43,9 +44,12 @@ use crate::job::{JobConfig, ReduceStrategy};
 /// [`SummaryCache::load`] — but its bytes must be *retained* for
 /// inspection, never silently deleted.
 pub trait SummaryCache: Send + Sync {
-    /// Returns the stored frame for `(config_hash, digest)`, if any.
-    /// Quarantined frames are not returned.
-    fn load(&self, config_hash: u64, digest: u64) -> Option<Vec<u8>>;
+    /// Returns the stored frame for `(config_hash, digest)`. Quarantined
+    /// frames are not returned. `Ok(None)` means *absent* (a miss);
+    /// `Err` means the bytes may exist but could not be read — kept
+    /// distinct so real I/O failures are counted and retried instead of
+    /// silently reading as misses.
+    fn load(&self, config_hash: u64, digest: u64) -> io::Result<Option<Vec<u8>>>;
 
     /// Durably stores a frame, replacing any previous one. Must be atomic:
     /// a reader (or a crash) sees either the old frame or the new one,
@@ -58,6 +62,14 @@ pub trait SummaryCache: Send + Sync {
 
     /// Lists quarantined entries with their reasons.
     fn quarantined(&self) -> Vec<(u64, u64, String)>;
+
+    /// A snapshot of the cache's I/O-outcome ledger, if it keeps one
+    /// (disk-backed caches do; in-memory caches have no I/O to count).
+    /// The job driver diffs two snapshots to attribute retries, give-ups,
+    /// and demotions to a run's [`crate::metrics::JobMetrics`].
+    fn io_counts(&self) -> Option<IoCounts> {
+        None
+    }
 }
 
 /// How one chunk's cache lookup resolved — mirrors the
@@ -151,8 +163,16 @@ pub(crate) fn lookup_summary(
     config_hash: u64,
     digest: u64,
 ) -> CacheLookup {
-    let Some(bytes) = ctx.cache.load(config_hash, digest) else {
-        return CacheLookup::Miss;
+    let bytes = match ctx.cache.load(config_hash, digest) {
+        Ok(Some(bytes)) => bytes,
+        Ok(None) => return CacheLookup::Miss,
+        // A load error resolves to a miss (recompute) — but only after
+        // the cache's retry policy ran and its ledger counted it; it is
+        // never conflated with absence.
+        Err(_) => {
+            symple_obs::counter_add("cache.load_errors", 1);
+            return CacheLookup::Miss;
+        }
     };
     if ctx.trust_frame_meta {
         // Sabotage bypass: integrity still checked, meaning is not.
@@ -277,13 +297,14 @@ impl MemSummaryCache {
 }
 
 impl SummaryCache for MemSummaryCache {
-    fn load(&self, config_hash: u64, digest: u64) -> Option<Vec<u8>> {
-        self.inner
+    fn load(&self, config_hash: u64, digest: u64) -> io::Result<Option<Vec<u8>>> {
+        Ok(self
+            .inner
             .lock()
             .expect("cache poisoned")
             .frames
             .get(&(config_hash, digest))
-            .cloned()
+            .cloned())
     }
 
     fn save(&self, config_hash: u64, digest: u64, frame: &[u8]) -> io::Result<()> {
@@ -329,21 +350,55 @@ impl SummaryCache for MemSummaryCache {
 /// post-mortem. The directory-per-config-hash layout makes a config
 /// change's dead entries trivially identifiable (and reclaimable) without
 /// any risk of cross-config key collisions on disk.
+///
+/// Every byte moves through an injectable [`StoreIo`] under a
+/// [`StoreEngine`]: transient errors are retried per [`RetryPolicy`], and
+/// past the failure budget the cache demotes to a no-op backend — loads
+/// answer `Ok(None)`, saves succeed without writing — so a dying disk
+/// degrades the job to correct-but-uncached instead of failing it.
 pub struct DiskSummaryCache {
     root: PathBuf,
+    engine: StoreEngine,
 }
 
 impl DiskSummaryCache {
-    /// Opens (creating if needed) a cache rooted at `root`.
+    /// Opens (creating if needed) a cache rooted at `root`, on the real
+    /// filesystem with the default retry policy and failure budget.
     pub fn new(root: impl Into<PathBuf>) -> io::Result<DiskSummaryCache> {
+        DiskSummaryCache::with_engine(root, StoreEngine::real())
+    }
+
+    /// Opens a cache whose filesystem access runs through `io` under
+    /// `policy`, demoting after `failure_budget` given-up operations —
+    /// the constructor the fault-injection harnesses use.
+    pub fn with_io(
+        root: impl Into<PathBuf>,
+        io: Arc<dyn StoreIo>,
+        policy: RetryPolicy,
+        failure_budget: u64,
+    ) -> io::Result<DiskSummaryCache> {
+        DiskSummaryCache::with_engine(root, StoreEngine::new(io, policy, failure_budget))
+    }
+
+    fn with_engine(root: impl Into<PathBuf>, engine: StoreEngine) -> io::Result<DiskSummaryCache> {
         let root = root.into();
-        fs::create_dir_all(&root)?;
-        Ok(DiskSummaryCache { root })
+        // Best-effort: a root that cannot be created yet is not fatal —
+        // every save retries `create_dir_all`, loads degrade to misses,
+        // and a disk that stays broken demotes the store through the
+        // ledger like any other persistent fault. The failure is already
+        // counted (and budgeted) by the engine.
+        let _ = engine.run(|io| io.create_dir_all(&root));
+        Ok(DiskSummaryCache { root, engine })
     }
 
     /// The cache's root directory.
     pub fn root(&self) -> &Path {
         &self.root
+    }
+
+    /// Whether the cache has demoted itself to a no-op backend.
+    pub fn demoted(&self) -> bool {
+        self.engine.demoted()
     }
 
     /// Path of an entry's live frame.
@@ -355,17 +410,40 @@ impl DiskSummaryCache {
 }
 
 impl SummaryCache for DiskSummaryCache {
-    fn load(&self, config_hash: u64, digest: u64) -> Option<Vec<u8>> {
-        fs::read(self.entry_path(config_hash, digest)).ok()
+    fn load(&self, config_hash: u64, digest: u64) -> io::Result<Option<Vec<u8>>> {
+        if self.engine.demoted() {
+            return Ok(None);
+        }
+        let path = self.entry_path(config_hash, digest);
+        match self.engine.run(|io| io.read(&path)) {
+            Ok(bytes) => Ok(Some(bytes)),
+            Err(e) if e.kind() == io::ErrorKind::NotFound => Ok(None),
+            Err(e) => Err(e),
+        }
     }
 
     fn save(&self, config_hash: u64, digest: u64, frame: &[u8]) -> io::Result<()> {
+        if self.engine.demoted() {
+            return Ok(());
+        }
         let path = self.entry_path(config_hash, digest);
         let dir = path.parent().expect("entry path has a parent");
-        fs::create_dir_all(dir)?;
+        self.engine.run(|io| io.create_dir_all(dir))?;
         let tmp = path.with_extension("sum.tmp");
-        fs::write(&tmp, frame)?;
-        fs::rename(&tmp, &path)
+        let commit = self
+            .engine
+            .run(|io| io.write(&tmp, frame))
+            .and_then(|()| self.engine.run(|io| io.rename(&tmp, &path)));
+        if let Err(e) = commit {
+            // Never leave `.tmp` litter behind a failed save — torn
+            // prefixes and intact orphans alike are swept; the live entry
+            // is still either the old frame or absent. Best-effort.
+            let _ = self.engine.run(|io| io.remove(&tmp));
+            return Err(e);
+        }
+        // Durability point: a no-op on RealIo (the commit is the rename),
+        // but injectable, so slow/failing barriers are simulatable.
+        self.engine.run(|io| io.sync(&path))
     }
 
     fn quarantine(&self, config_hash: u64, digest: u64, reason: &str) {
@@ -377,7 +455,7 @@ impl SummaryCache for DiskSummaryCache {
             target = path.with_extension(format!("sum.quarantined.{n}"));
             n += 1;
         }
-        if fs::rename(&path, &target).is_err() {
+        if self.engine.run(|io| io.rename(&path, &target)).is_err() {
             symple_obs::counter_add("cache.quarantine_errors", 1);
             return;
         }
@@ -388,11 +466,21 @@ impl SummaryCache for DiskSummaryCache {
                 .map(|e| format!("{e}.reason"))
                 .unwrap_or_else(|| "reason".to_string()),
         );
-        if fs::write(&reason_path, reason).is_err() {
+        if self
+            .engine
+            .run(|io| io.write(&reason_path, reason.as_bytes()))
+            .is_err()
+        {
             symple_obs::counter_add("cache.quarantine_errors", 1);
         }
     }
 
+    fn io_counts(&self) -> Option<IoCounts> {
+        Some(self.engine.ledger().snapshot())
+    }
+
+    // Quarantine listing is a post-mortem/test path, not part of the
+    // durability contract, so its directory walk stays on plain `fs`.
     fn quarantined(&self) -> Vec<(u64, u64, String)> {
         let mut out = Vec::new();
         let Ok(config_dirs) = fs::read_dir(&self.root) else {

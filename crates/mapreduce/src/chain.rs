@@ -84,6 +84,10 @@ pub fn fold_metrics(first: JobMetrics, second: JobMetrics) -> JobMetrics {
         cache_corrupt: first.cache_corrupt + second.cache_corrupt,
         cache_bytes_saved: first.cache_bytes_saved + second.cache_bytes_saved,
         chunks_salvaged_concrete: first.chunks_salvaged_concrete + second.chunks_salvaged_concrete,
+        io_retries: first.io_retries + second.io_retries,
+        io_gave_up: first.io_gave_up + second.io_gave_up,
+        io_errors: first.io_errors + second.io_errors,
+        store_demoted: first.store_demoted + second.store_demoted,
         explore: {
             let mut e = first.explore;
             e.records += second.explore.records;

@@ -18,7 +18,7 @@ use std::collections::HashMap;
 use std::fs;
 use std::io;
 use std::path::{Path, PathBuf};
-use std::sync::Mutex;
+use std::sync::{Arc, Mutex};
 
 use symple_core::frame::{
     decode_frame, decode_frame_unchecked, encode_frame, fnv1a_extend, FrameCheck, FrameMeta,
@@ -26,6 +26,7 @@ use symple_core::frame::{
 };
 
 use crate::job::JobConfig;
+use crate::store_io::{IoCounts, RetryPolicy, StoreEngine, StoreIo};
 
 /// Where checkpoint frames live. Implementations store and retrieve
 /// *opaque frame bytes*; all framing, checksumming, and staleness logic is
@@ -36,9 +37,12 @@ use crate::job::JobConfig;
 /// [`CheckpointStore::load`] — but its bytes must be *retained* for
 /// inspection, never silently deleted.
 pub trait CheckpointStore: Send + Sync {
-    /// Returns the stored frame for `(job, chunk)`, if any. Quarantined
-    /// frames are not returned.
-    fn load(&self, job: &str, chunk: u64) -> Option<Vec<u8>>;
+    /// Returns the stored frame for `(job, chunk)`. Quarantined frames
+    /// are not returned. `Ok(None)` means *absent* (a cache-style miss);
+    /// `Err` means the bytes may exist but could not be read — the two
+    /// are deliberately distinct so real I/O failures are counted and
+    /// retried instead of silently reading as misses.
+    fn load(&self, job: &str, chunk: u64) -> io::Result<Option<Vec<u8>>>;
 
     /// Durably stores a frame, replacing any previous one. Must be atomic:
     /// a reader (or a crash) sees either the old frame or the new one,
@@ -51,6 +55,14 @@ pub trait CheckpointStore: Send + Sync {
 
     /// Lists quarantined chunks for a job with their reasons.
     fn quarantined(&self, job: &str) -> Vec<(u64, String)>;
+
+    /// A snapshot of the store's I/O-outcome ledger, if it keeps one
+    /// (disk-backed stores do; in-memory stores have no I/O to count).
+    /// The job driver diffs two snapshots to attribute retries, give-ups,
+    /// and demotions to a run's [`crate::metrics::JobMetrics`].
+    fn io_counts(&self) -> Option<IoCounts> {
+        None
+    }
 }
 
 /// How one chunk's checkpoint lookup resolved — mirrors the
@@ -113,9 +125,19 @@ pub fn config_fingerprint(cfg: &JobConfig) -> u64 {
 }
 
 /// Resolves one chunk against the store, quarantining anything invalid.
+///
+/// A load *error* (as opposed to an absent frame) resolves to a miss too
+/// — checkpoints are an optimization, so an unreadable frame merely costs
+/// a recompute — but only after the store's retry policy ran and its
+/// ledger counted the failure; it is never conflated with absence.
 pub(crate) fn lookup_chunk(ctx: &CheckpointCtx<'_>, expect: &FrameMeta) -> ChunkLookup {
-    let Some(bytes) = ctx.store.load(&ctx.job_id, expect.chunk_index) else {
-        return ChunkLookup::Miss;
+    let bytes = match ctx.store.load(&ctx.job_id, expect.chunk_index) {
+        Ok(Some(bytes)) => bytes,
+        Ok(None) => return ChunkLookup::Miss,
+        Err(_) => {
+            symple_obs::counter_add("checkpoint.load_errors", 1);
+            return ChunkLookup::Miss;
+        }
     };
     if ctx.trust_frame_meta {
         // Sabotage bypass: integrity still checked, meaning is not.
@@ -216,13 +238,14 @@ impl MemCheckpointStore {
 }
 
 impl CheckpointStore for MemCheckpointStore {
-    fn load(&self, job: &str, chunk: u64) -> Option<Vec<u8>> {
-        self.inner
+    fn load(&self, job: &str, chunk: u64) -> io::Result<Option<Vec<u8>>> {
+        Ok(self
+            .inner
             .lock()
             .expect("store poisoned")
             .frames
             .get(&(job.to_string(), chunk))
-            .cloned()
+            .cloned())
     }
 
     fn save(&self, job: &str, chunk: u64, frame: &[u8]) -> io::Result<()> {
@@ -266,8 +289,15 @@ impl CheckpointStore for MemCheckpointStore {
 /// none — never a torn one. Quarantine renames the frame to
 /// `chunk-<n>.ckpt.quarantined` and records the reason alongside in
 /// `chunk-<n>.ckpt.reason`; quarantined bytes are kept for post-mortem.
+///
+/// Every byte moves through an injectable [`StoreIo`] under a
+/// [`StoreEngine`]: transient errors are retried per [`RetryPolicy`], and
+/// past the failure budget the store demotes to a no-op backend — loads
+/// answer `Ok(None)`, saves succeed without writing — so a dying disk
+/// degrades the job to correct-but-uncached instead of failing it.
 pub struct DiskCheckpointStore {
     root: PathBuf,
+    engine: StoreEngine,
 }
 
 /// Maps a job id onto a filesystem-safe directory name.
@@ -284,16 +314,46 @@ fn sanitize(job: &str) -> String {
 }
 
 impl DiskCheckpointStore {
-    /// Opens (creating if needed) a store rooted at `root`.
+    /// Opens (creating if needed) a store rooted at `root`, on the real
+    /// filesystem with the default retry policy and failure budget.
     pub fn new(root: impl Into<PathBuf>) -> io::Result<DiskCheckpointStore> {
+        DiskCheckpointStore::with_engine(root, StoreEngine::real())
+    }
+
+    /// Opens a store whose filesystem access runs through `io` under
+    /// `policy`, demoting after `failure_budget` given-up operations —
+    /// the constructor the fault-injection harnesses use.
+    pub fn with_io(
+        root: impl Into<PathBuf>,
+        io: Arc<dyn StoreIo>,
+        policy: RetryPolicy,
+        failure_budget: u64,
+    ) -> io::Result<DiskCheckpointStore> {
+        DiskCheckpointStore::with_engine(root, StoreEngine::new(io, policy, failure_budget))
+    }
+
+    fn with_engine(
+        root: impl Into<PathBuf>,
+        engine: StoreEngine,
+    ) -> io::Result<DiskCheckpointStore> {
         let root = root.into();
-        fs::create_dir_all(&root)?;
-        Ok(DiskCheckpointStore { root })
+        // Best-effort: a root that cannot be created yet is not fatal —
+        // every save retries `create_dir_all`, loads degrade to misses,
+        // and a disk that stays broken demotes the store through the
+        // ledger like any other persistent fault. The failure is already
+        // counted (and budgeted) by the engine.
+        let _ = engine.run(|io| io.create_dir_all(&root));
+        Ok(DiskCheckpointStore { root, engine })
     }
 
     /// The store's root directory.
     pub fn root(&self) -> &Path {
         &self.root
+    }
+
+    /// Whether the store has demoted itself to a no-op backend.
+    pub fn demoted(&self) -> bool {
+        self.engine.demoted()
     }
 
     /// Path of a chunk's live frame.
@@ -305,17 +365,42 @@ impl DiskCheckpointStore {
 }
 
 impl CheckpointStore for DiskCheckpointStore {
-    fn load(&self, job: &str, chunk: u64) -> Option<Vec<u8>> {
-        fs::read(self.chunk_path(job, chunk)).ok()
+    fn load(&self, job: &str, chunk: u64) -> io::Result<Option<Vec<u8>>> {
+        if self.engine.demoted() {
+            return Ok(None);
+        }
+        let path = self.chunk_path(job, chunk);
+        match self.engine.run(|io| io.read(&path)) {
+            Ok(bytes) => Ok(Some(bytes)),
+            Err(e) if e.kind() == io::ErrorKind::NotFound => Ok(None),
+            Err(e) => Err(e),
+        }
     }
 
     fn save(&self, job: &str, chunk: u64, frame: &[u8]) -> io::Result<()> {
+        if self.engine.demoted() {
+            return Ok(());
+        }
         let path = self.chunk_path(job, chunk);
         let dir = path.parent().expect("chunk path has a parent");
-        fs::create_dir_all(dir)?;
+        self.engine.run(|io| io.create_dir_all(dir))?;
         let tmp = path.with_extension("ckpt.tmp");
-        fs::write(&tmp, frame)?;
-        fs::rename(&tmp, &path)
+        let commit = self
+            .engine
+            .run(|io| io.write(&tmp, frame))
+            .and_then(|()| self.engine.run(|io| io.rename(&tmp, &path)));
+        if let Err(e) = commit {
+            // Whether the write died (possibly leaving a torn prefix) or
+            // the rename did (leaving an intact orphan), the tmp file must
+            // not survive: a later crash-recovery sweep or ENOSPC budget
+            // should never find stray `.tmp` litter. Best-effort — the
+            // frame at `path` is still either the old one or absent.
+            let _ = self.engine.run(|io| io.remove(&tmp));
+            return Err(e);
+        }
+        // Durability point: a no-op on RealIo (the commit is the rename),
+        // but injectable, so slow/failing barriers are simulatable.
+        self.engine.run(|io| io.sync(&path))
     }
 
     fn quarantine(&self, job: &str, chunk: u64, reason: &str) {
@@ -327,7 +412,7 @@ impl CheckpointStore for DiskCheckpointStore {
             target = path.with_extension(format!("ckpt.quarantined.{n}"));
             n += 1;
         }
-        if fs::rename(&path, &target).is_err() {
+        if self.engine.run(|io| io.rename(&path, &target)).is_err() {
             symple_obs::counter_add("checkpoint.quarantine_errors", 1);
             return;
         }
@@ -338,11 +423,21 @@ impl CheckpointStore for DiskCheckpointStore {
                 .map(|e| format!("{e}.reason"))
                 .unwrap_or_else(|| "reason".to_string()),
         );
-        if fs::write(&reason_path, reason).is_err() {
+        if self
+            .engine
+            .run(|io| io.write(&reason_path, reason.as_bytes()))
+            .is_err()
+        {
             symple_obs::counter_add("checkpoint.quarantine_errors", 1);
         }
     }
 
+    fn io_counts(&self) -> Option<IoCounts> {
+        Some(self.engine.ledger().snapshot())
+    }
+
+    // Quarantine listing is a post-mortem/test path, not part of the
+    // durability contract, so its directory walk stays on plain `fs`.
     fn quarantined(&self, job: &str) -> Vec<(u64, String)> {
         let dir = self.root.join(sanitize(job));
         let mut out = Vec::new();

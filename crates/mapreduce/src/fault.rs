@@ -7,6 +7,13 @@
 //! exploration — so this module lets tests and demos *prove* that
 //! re-executed SYMPLE map tasks are byte-identical: inject failures,
 //! re-run, compare.
+//!
+//! This plan/injector/ledger idiom — a declarative [`FaultPlan`], a
+//! counting [`FaultInjector`], tests that balance the two — extends to
+//! the storage layer in [`crate::store_io`]: there
+//! [`crate::store_io::StorageFaultPlan`] schedules disk faults (errno on
+//! the Nth op, torn writes, failed renames, latency) and
+//! [`crate::store_io::FaultIo`] injects them beneath the durable stores.
 
 use std::collections::HashSet;
 use std::sync::atomic::{AtomicU64, Ordering};

@@ -81,6 +81,7 @@ pub mod scheduler;
 pub mod segment;
 pub mod sequential;
 pub mod shuffle;
+pub mod store_io;
 pub mod streaming;
 pub mod symple_job;
 
@@ -106,5 +107,9 @@ pub use scheduler::{
 };
 pub use segment::Segment;
 pub use sequential::run_sequential_job;
+pub use store_io::{
+    FaultIo, IoCounts, IoLedger, RealIo, RetryPolicy, StorageFaultKind, StorageFaultPlan,
+    StoreEngine, StoreIo, DEFAULT_FAILURE_BUDGET,
+};
 pub use streaming::run_symple_streaming;
 pub use symple_job::{run_symple, run_symple_cached, run_symple_checkpointed};

@@ -77,6 +77,19 @@ pub struct JobMetrics {
     /// raw events for in-order concrete re-execution at the reducer — the
     /// degraded-completion path, each one a measured sequential barrier.
     pub chunks_salvaged_concrete: u64,
+    /// Storage operations re-attempted after a transient I/O error, across
+    /// every store attached to the run (checkpoint and summary cache).
+    pub io_retries: u64,
+    /// Storage operations that ultimately failed — retries exhausted, the
+    /// backoff deadline spent, or a permanent error (`ENOSPC`, `EROFS`).
+    pub io_gave_up: u64,
+    /// I/O errors the attached stores observed. Excludes `NotFound`, which
+    /// is a miss, not a fault; `io_errors == io_retries + io_gave_up`.
+    pub io_errors: u64,
+    /// Store-demotion events during this run: a store crossed its failure
+    /// budget and fell back to a no-op backend, so the job completed
+    /// correct-but-uncached.
+    pub store_demoted: u64,
     /// Aggregated symbolic-exploration statistics (SYMPLE jobs only).
     pub explore: ExploreStats,
 }
@@ -135,6 +148,15 @@ impl JobMetrics {
         self.speculative_launches += s.speculative_launches;
         self.speculative_wins += s.speculative_wins;
         self.retry_wasted_cpu += s.retry_wasted_cpu;
+    }
+
+    /// Accumulates a store's I/O-ledger movement (a snapshot delta from
+    /// [`crate::store_io::IoCounts::since`]) into the run's totals.
+    pub fn absorb_io(&mut self, c: &crate::store_io::IoCounts) {
+        self.io_retries += c.io_retries;
+        self.io_gave_up += c.io_gave_up;
+        self.io_errors += c.io_errors;
+        self.store_demoted += c.store_demoted;
     }
 
     /// Accumulates exploration stats from one map task.

@@ -1,0 +1,759 @@
+//! Injectable storage I/O: every byte the durable stores move crosses
+//! [`StoreIo`].
+//!
+//! The checkpoint store ([`crate::checkpoint`]) and summary cache
+//! ([`crate::cache`]) defend against *content* corruption — CRC32 frames,
+//! digest checks, quarantine — but a hostile disk fails below that layer:
+//! transient `EIO`, a full (`ENOSPC`) or read-only (`EROFS`) filesystem,
+//! writes torn mid-buffer, renames that die after the tmp file landed.
+//! This module makes that layer injectable, extending the deterministic
+//! [`crate::fault::FaultPlan`] idiom from task execution to storage:
+//!
+//! * [`StoreIo`] — the six primitive operations a store needs (read,
+//!   write, rename, create_dir, remove, plus a `sync` point);
+//! * [`RealIo`] — `std::fs`, byte-for-byte the pre-trait behavior;
+//! * [`FaultIo`] — a seed-driven injector that fails the Nth operation
+//!   with a chosen errno, tears a write at an arbitrary byte offset,
+//!   fails a rename after the tmp file landed, and injects latency for
+//!   slow-disk simulation — while keeping ledger counters the chaos
+//!   tests balance against the store's own accounting;
+//! * [`RetryPolicy`] — attempt cap, deterministic exponential backoff
+//!   with seeded jitter, and a per-op backoff deadline, so transient
+//!   faults are retried and permanent ones escalate;
+//! * [`StoreEngine`] — the retry/ledger/demotion harness both disk
+//!   stores share: when an engine exceeds its failure budget it
+//!   *demotes* the store to a no-op backend (loads miss, saves vanish),
+//!   so the job completes correct-but-uncached instead of failing —
+//!   the same salvage philosophy the refused-chunk path follows.
+//!
+//! Ledger invariant (asserted by `tests/storage_chaos.rs`): every I/O
+//! error observed is either retried or given up on, so
+//! `io_errors == io_retries + io_gave_up` — and under a fault injector
+//! with a quiescent real disk, `io_errors` equals the injector's
+//! [`FaultIo::injected_errors`].
+
+use std::io;
+use std::path::Path;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use symple_core::rng::Rng64;
+
+// ---------------------------------------------------------------------------
+// The trait and the real backend
+// ---------------------------------------------------------------------------
+
+/// The primitive filesystem operations a durable store performs. All
+/// framing, checksumming, retry, and demotion logic lives *above* this
+/// trait; implementations only move bytes (or pretend to fail to).
+pub trait StoreIo: Send + Sync {
+    /// Reads the entire file at `path`.
+    fn read(&self, path: &Path) -> io::Result<Vec<u8>>;
+
+    /// Writes `bytes` to `path`, creating or truncating it.
+    fn write(&self, path: &Path, bytes: &[u8]) -> io::Result<()>;
+
+    /// Atomically renames `from` to `to` (the stores' commit point).
+    fn rename(&self, from: &Path, to: &Path) -> io::Result<()>;
+
+    /// Creates `path` and all missing parents.
+    fn create_dir_all(&self, path: &Path) -> io::Result<()>;
+
+    /// Removes the file at `path`.
+    fn remove(&self, path: &Path) -> io::Result<()>;
+
+    /// Durability point after a commit. [`RealIo`] keeps this a no-op —
+    /// the stores' crash contract (old frame or new frame, never torn)
+    /// comes from tmp + rename, and the pre-trait code issued no fsync —
+    /// but the hook exists so injectors can fault or delay the barrier.
+    fn sync(&self, path: &Path) -> io::Result<()>;
+}
+
+/// The production backend: `std::fs`, unchanged semantics.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct RealIo;
+
+impl StoreIo for RealIo {
+    fn read(&self, path: &Path) -> io::Result<Vec<u8>> {
+        std::fs::read(path)
+    }
+
+    fn write(&self, path: &Path, bytes: &[u8]) -> io::Result<()> {
+        std::fs::write(path, bytes)
+    }
+
+    fn rename(&self, from: &Path, to: &Path) -> io::Result<()> {
+        std::fs::rename(from, to)
+    }
+
+    fn create_dir_all(&self, path: &Path) -> io::Result<()> {
+        std::fs::create_dir_all(path)
+    }
+
+    fn remove(&self, path: &Path) -> io::Result<()> {
+        std::fs::remove_file(path)
+    }
+
+    fn sync(&self, _path: &Path) -> io::Result<()> {
+        Ok(())
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Fault injection
+// ---------------------------------------------------------------------------
+
+/// The errno an injected storage fault surfaces as.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StorageFaultKind {
+    /// Generic I/O error (`EIO`) — treated as transient and retried.
+    Eio,
+    /// Disk full (`ENOSPC`) — permanent, escalates immediately.
+    Enospc,
+    /// Read-only filesystem (`EROFS`) — permanent, escalates immediately.
+    Erofs,
+    /// Operation timed out — transient and retried.
+    TimedOut,
+}
+
+impl StorageFaultKind {
+    /// Every kind, for schedule enumeration.
+    pub const ALL: [StorageFaultKind; 4] = [
+        StorageFaultKind::Eio,
+        StorageFaultKind::Enospc,
+        StorageFaultKind::Erofs,
+        StorageFaultKind::TimedOut,
+    ];
+
+    /// Materializes the fault as an [`io::Error`] with the matching kind.
+    pub fn to_error(self) -> io::Error {
+        match self {
+            StorageFaultKind::Eio => io::Error::other("injected EIO"),
+            StorageFaultKind::Enospc => {
+                io::Error::new(io::ErrorKind::StorageFull, "injected ENOSPC")
+            }
+            StorageFaultKind::Erofs => {
+                io::Error::new(io::ErrorKind::ReadOnlyFilesystem, "injected EROFS")
+            }
+            StorageFaultKind::TimedOut => {
+                io::Error::new(io::ErrorKind::TimedOut, "injected timeout")
+            }
+        }
+    }
+}
+
+/// A deterministic storage-fault schedule — the [`crate::fault::FaultPlan`]
+/// idiom applied to the I/O layer. Operation indices are 1-based and count
+/// *per category*: `fail_op` by the injector's global operation sequence,
+/// `tear_write` by its write sequence, `fail_rename` by its rename
+/// sequence. Retries re-enter the injector, so a retried op consumes fresh
+/// indices — schedules enumerate *attempts*, not logical operations.
+#[derive(Debug, Clone, Default)]
+pub struct StorageFaultPlan {
+    /// `(global op index, errno)`: the Nth operation fails outright.
+    pub fail_op: Vec<(u64, StorageFaultKind)>,
+    /// `(write index, byte offset)`: the Nth write persists only the
+    /// first `offset` bytes, then reports `EIO` — a torn write.
+    pub tear_write: Vec<(u64, usize)>,
+    /// Rename indices that fail *after* the tmp file landed: the write
+    /// succeeded, the commit did not.
+    pub fail_rename: Vec<u64>,
+    /// Every Nth operation stalls this long first (slow-disk simulation).
+    pub latency_every: Option<(u64, Duration)>,
+    /// SABOTAGE ONLY: tear the write but report success — a deliberately
+    /// buggy injector. The chaos harness's negated self-test proves the
+    /// ledger-balance check catches this (the injector claims an error
+    /// the store never observed).
+    pub silent_tear: bool,
+}
+
+impl StorageFaultPlan {
+    /// A pseudo-random schedule derived from `seed`: `faults` op failures
+    /// and one torn write, spread over the first `horizon` operations.
+    /// Identical seeds yield identical schedules.
+    pub fn seeded(seed: u64, horizon: u64, faults: u64) -> StorageFaultPlan {
+        let mut rng = Rng64::seed_from_u64(seed ^ 0x510f_a017);
+        let horizon = horizon.max(1);
+        let mut plan = StorageFaultPlan::default();
+        for _ in 0..faults {
+            let op = rng.gen_range(1..=horizon);
+            let kind = StorageFaultKind::ALL[rng.gen_range(0..4usize)];
+            plan.fail_op.push((op, kind));
+        }
+        plan.tear_write
+            .push((rng.gen_range(1..=horizon.min(8)), rng.gen_range(0..64usize)));
+        if rng.gen_bool(0.5) {
+            plan.fail_rename.push(rng.gen_range(1..=horizon.min(8)));
+        }
+        plan
+    }
+}
+
+/// A [`StoreIo`] that injects the faults a [`StorageFaultPlan`] schedules,
+/// delegating everything else to an inner backend. Counters record what
+/// was actually injected so tests can balance them against the store's
+/// [`IoLedger`].
+pub struct FaultIo<I: StoreIo = RealIo> {
+    inner: I,
+    plan: StorageFaultPlan,
+    ops: AtomicU64,
+    writes: AtomicU64,
+    renames: AtomicU64,
+    injected_errors: AtomicU64,
+    torn_writes: AtomicU64,
+    latency_injections: AtomicU64,
+}
+
+impl FaultIo<RealIo> {
+    /// An injector over the real filesystem.
+    pub fn new(plan: StorageFaultPlan) -> FaultIo<RealIo> {
+        FaultIo::wrapping(RealIo, plan)
+    }
+}
+
+impl<I: StoreIo> FaultIo<I> {
+    /// An injector over an arbitrary inner backend.
+    pub fn wrapping(inner: I, plan: StorageFaultPlan) -> FaultIo<I> {
+        FaultIo {
+            inner,
+            plan,
+            ops: AtomicU64::new(0),
+            writes: AtomicU64::new(0),
+            renames: AtomicU64::new(0),
+            injected_errors: AtomicU64::new(0),
+            torn_writes: AtomicU64::new(0),
+            latency_injections: AtomicU64::new(0),
+        }
+    }
+
+    /// Operations that reached the injector (including failed ones).
+    pub fn ops(&self) -> u64 {
+        self.ops.load(Ordering::SeqCst)
+    }
+
+    /// Errors this injector *intended* to surface — including a
+    /// `silent_tear`'s suppressed one, which is what makes the ledger
+    /// balance check catch that sabotage.
+    pub fn injected_errors(&self) -> u64 {
+        self.injected_errors.load(Ordering::SeqCst)
+    }
+
+    /// Writes that were torn (silently or not).
+    pub fn torn_writes(&self) -> u64 {
+        self.torn_writes.load(Ordering::SeqCst)
+    }
+
+    /// Operations that were stalled by injected latency.
+    pub fn latency_injections(&self) -> u64 {
+        self.latency_injections.load(Ordering::SeqCst)
+    }
+
+    /// Advances the global op sequence; injects latency and scheduled
+    /// op-level faults.
+    fn gate(&self) -> io::Result<()> {
+        let n = self.ops.fetch_add(1, Ordering::SeqCst) + 1;
+        if let Some((every, delay)) = self.plan.latency_every {
+            if every > 0 && n.is_multiple_of(every) {
+                self.latency_injections.fetch_add(1, Ordering::SeqCst);
+                std::thread::sleep(delay);
+            }
+        }
+        if let Some(&(_, kind)) = self.plan.fail_op.iter().find(|(op, _)| *op == n) {
+            self.injected_errors.fetch_add(1, Ordering::SeqCst);
+            return Err(kind.to_error());
+        }
+        Ok(())
+    }
+}
+
+impl<I: StoreIo> StoreIo for FaultIo<I> {
+    fn read(&self, path: &Path) -> io::Result<Vec<u8>> {
+        self.gate()?;
+        self.inner.read(path)
+    }
+
+    fn write(&self, path: &Path, bytes: &[u8]) -> io::Result<()> {
+        self.gate()?;
+        let w = self.writes.fetch_add(1, Ordering::SeqCst) + 1;
+        if let Some(&(_, offset)) = self.plan.tear_write.iter().find(|(idx, _)| *idx == w) {
+            // The torn prefix really lands: that is what a power cut or
+            // full disk leaves behind for the frame layer to catch.
+            let torn = &bytes[..offset.min(bytes.len())];
+            self.inner.write(path, torn)?;
+            self.torn_writes.fetch_add(1, Ordering::SeqCst);
+            self.injected_errors.fetch_add(1, Ordering::SeqCst);
+            if self.plan.silent_tear {
+                // The injected bug: claim success over a torn file.
+                return Ok(());
+            }
+            return Err(io::Error::other("injected torn write"));
+        }
+        self.inner.write(path, bytes)
+    }
+
+    fn rename(&self, from: &Path, to: &Path) -> io::Result<()> {
+        self.gate()?;
+        let r = self.renames.fetch_add(1, Ordering::SeqCst) + 1;
+        if self.plan.fail_rename.contains(&r) {
+            // The tmp file already landed (the write succeeded); only the
+            // commit rename dies, leaving the orphan for cleanup.
+            self.injected_errors.fetch_add(1, Ordering::SeqCst);
+            return Err(io::Error::other("injected rename failure"));
+        }
+        self.inner.rename(from, to)
+    }
+
+    fn create_dir_all(&self, path: &Path) -> io::Result<()> {
+        self.gate()?;
+        self.inner.create_dir_all(path)
+    }
+
+    fn remove(&self, path: &Path) -> io::Result<()> {
+        self.gate()?;
+        self.inner.remove(path)
+    }
+
+    fn sync(&self, path: &Path) -> io::Result<()> {
+        self.gate()?;
+        self.inner.sync(path)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Retry policy
+// ---------------------------------------------------------------------------
+
+/// When to retry a failed storage operation and how long to wait.
+///
+/// Backoff for attempt `k` (1-based) is `backoff_base * 2^(k-1)` plus a
+/// deterministic jitter of up to half that, derived from
+/// `(jitter_seed, op sequence, attempt)` — reproducible run to run, yet
+/// decorrelated across concurrent ops. An op stops retrying when the
+/// attempt cap is reached or the *summed* backoff it has scheduled would
+/// exceed `op_deadline`; the deadline is accounted in scheduled (virtual)
+/// time so fault schedules stay deterministic regardless of host speed.
+#[derive(Debug, Clone)]
+pub struct RetryPolicy {
+    /// Total attempts per operation (1 = never retry).
+    pub max_attempts: u32,
+    /// First retry's base backoff; doubles each further attempt.
+    pub backoff_base: Duration,
+    /// Upper bound on any single backoff sleep.
+    pub backoff_cap: Duration,
+    /// Budget on the summed backoff scheduled for one operation.
+    pub op_deadline: Duration,
+    /// Seed for the deterministic jitter.
+    pub jitter_seed: u64,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> RetryPolicy {
+        RetryPolicy {
+            max_attempts: 3,
+            backoff_base: Duration::from_micros(500),
+            backoff_cap: Duration::from_millis(10),
+            op_deadline: Duration::from_millis(50),
+            jitter_seed: 0x10_5eed,
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// A policy that never retries (tests and comparisons).
+    pub fn no_retries() -> RetryPolicy {
+        RetryPolicy {
+            max_attempts: 1,
+            backoff_base: Duration::ZERO,
+            backoff_cap: Duration::ZERO,
+            op_deadline: Duration::ZERO,
+            ..RetryPolicy::default()
+        }
+    }
+
+    /// The default policy with all sleeps zeroed — full retry semantics
+    /// at test speed.
+    pub fn instant() -> RetryPolicy {
+        RetryPolicy {
+            backoff_base: Duration::ZERO,
+            backoff_cap: Duration::ZERO,
+            ..RetryPolicy::default()
+        }
+    }
+
+    /// The backoff scheduled before retrying `attempt` (1-based) of the
+    /// engine's `op`-th operation. Pure function of the policy and its
+    /// arguments.
+    pub fn backoff(&self, op: u64, attempt: u32) -> Duration {
+        let exp = self
+            .backoff_base
+            .saturating_mul(1u32 << attempt.saturating_sub(1).min(16));
+        let exp = exp.min(self.backoff_cap);
+        let half = exp.as_nanos() as u64 / 2;
+        if half == 0 {
+            return exp;
+        }
+        let mut rng = Rng64::seed_from_u64(
+            self.jitter_seed ^ op.rotate_left(17) ^ u64::from(attempt).rotate_left(41),
+        );
+        (exp + Duration::from_nanos(rng.gen_range(0..=half))).min(self.backoff_cap)
+    }
+}
+
+/// Whether an I/O error is worth retrying. Transient kinds — interruption,
+/// timeout, would-block, and uncategorized errors like a raw `EIO` — are;
+/// semantic (`NotFound`) and resource-state kinds (`StorageFull`,
+/// `ReadOnlyFilesystem`, `PermissionDenied`, …) escalate immediately: no
+/// number of retries un-fills a disk.
+pub fn is_transient(e: &io::Error) -> bool {
+    matches!(
+        e.kind(),
+        io::ErrorKind::Interrupted
+            | io::ErrorKind::TimedOut
+            | io::ErrorKind::WouldBlock
+            | io::ErrorKind::Other
+    )
+}
+
+// ---------------------------------------------------------------------------
+// Ledger
+// ---------------------------------------------------------------------------
+
+/// Thread-safe counters for a store's I/O outcomes. Invariant:
+/// `io_errors == io_retries + io_gave_up` — every observed error is
+/// followed by exactly one decision.
+#[derive(Debug, Default)]
+pub struct IoLedger {
+    io_retries: AtomicU64,
+    io_gave_up: AtomicU64,
+    io_errors: AtomicU64,
+    store_demoted: AtomicU64,
+}
+
+impl IoLedger {
+    /// A point-in-time copy of the counters.
+    pub fn snapshot(&self) -> IoCounts {
+        IoCounts {
+            io_retries: self.io_retries.load(Ordering::SeqCst),
+            io_gave_up: self.io_gave_up.load(Ordering::SeqCst),
+            io_errors: self.io_errors.load(Ordering::SeqCst),
+            store_demoted: self.store_demoted.load(Ordering::SeqCst),
+        }
+    }
+}
+
+/// A snapshot of an [`IoLedger`] — also the unit of per-job attribution:
+/// stores outlive jobs, so the driver records `end.since(&start)`.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct IoCounts {
+    /// Transient-error attempts that were retried.
+    pub io_retries: u64,
+    /// Operations that ultimately failed (retries exhausted, deadline
+    /// spent, or a permanent error).
+    pub io_gave_up: u64,
+    /// I/O errors observed (excluding `NotFound`, which is a miss).
+    pub io_errors: u64,
+    /// Demotion events: the store crossed its failure budget and fell
+    /// back to a no-op backend.
+    pub store_demoted: u64,
+}
+
+impl IoCounts {
+    /// Counter movement since an earlier snapshot of the same ledger.
+    pub fn since(&self, earlier: &IoCounts) -> IoCounts {
+        IoCounts {
+            io_retries: self.io_retries - earlier.io_retries,
+            io_gave_up: self.io_gave_up - earlier.io_gave_up,
+            io_errors: self.io_errors - earlier.io_errors,
+            store_demoted: self.store_demoted - earlier.store_demoted,
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// The retry/demotion engine
+// ---------------------------------------------------------------------------
+
+/// Default failure budget: give-up operations tolerated before a store
+/// demotes itself to a no-op backend.
+pub const DEFAULT_FAILURE_BUDGET: u64 = 4;
+
+/// The harness both disk stores drive their [`StoreIo`] through: a retry
+/// loop under a [`RetryPolicy`], an [`IoLedger`], and the demotion latch.
+/// Once `io_gave_up` reaches the failure budget the engine trips
+/// [`StoreEngine::demoted`]; the owning store then answers loads with a
+/// miss and drops saves, completing the job correct-but-uncached.
+pub struct StoreEngine {
+    io: Arc<dyn StoreIo>,
+    policy: RetryPolicy,
+    ledger: IoLedger,
+    failure_budget: u64,
+    demoted: AtomicBool,
+    op_seq: AtomicU64,
+}
+
+impl StoreEngine {
+    /// An engine over an injectable backend.
+    pub fn new(io: Arc<dyn StoreIo>, policy: RetryPolicy, failure_budget: u64) -> StoreEngine {
+        StoreEngine {
+            io,
+            policy,
+            ledger: IoLedger::default(),
+            failure_budget: failure_budget.max(1),
+            demoted: AtomicBool::new(false),
+            op_seq: AtomicU64::new(0),
+        }
+    }
+
+    /// The production engine: [`RealIo`], default policy and budget.
+    pub fn real() -> StoreEngine {
+        StoreEngine::new(
+            Arc::new(RealIo),
+            RetryPolicy::default(),
+            DEFAULT_FAILURE_BUDGET,
+        )
+    }
+
+    /// Whether the failure budget has tripped.
+    pub fn demoted(&self) -> bool {
+        self.demoted.load(Ordering::SeqCst)
+    }
+
+    /// The engine's I/O outcome counters.
+    pub fn ledger(&self) -> &IoLedger {
+        &self.ledger
+    }
+
+    /// Runs `f` against the backend under the retry policy. `NotFound`
+    /// passes through uncounted (semantic absence, not an I/O fault);
+    /// every other error is tallied and either retried or escalated.
+    pub fn run<T>(&self, f: impl Fn(&dyn StoreIo) -> io::Result<T>) -> io::Result<T> {
+        let op = self.op_seq.fetch_add(1, Ordering::SeqCst) + 1;
+        let mut scheduled = Duration::ZERO;
+        let mut attempt = 1u32;
+        loop {
+            match f(self.io.as_ref()) {
+                Ok(v) => return Ok(v),
+                Err(e) if e.kind() == io::ErrorKind::NotFound => return Err(e),
+                Err(e) => {
+                    self.ledger.io_errors.fetch_add(1, Ordering::SeqCst);
+                    symple_obs::counter_add("store_io.errors", 1);
+                    let backoff = self.policy.backoff(op, attempt);
+                    let out_of_road = attempt >= self.policy.max_attempts
+                        || scheduled + backoff > self.policy.op_deadline;
+                    if !is_transient(&e) || out_of_road {
+                        self.note_gave_up();
+                        return Err(e);
+                    }
+                    self.ledger.io_retries.fetch_add(1, Ordering::SeqCst);
+                    symple_obs::counter_add("store_io.retries", 1);
+                    if !backoff.is_zero() {
+                        std::thread::sleep(backoff);
+                    }
+                    scheduled += backoff;
+                    attempt += 1;
+                }
+            }
+        }
+    }
+
+    /// Records a terminal failure; trips demotion at the budget.
+    fn note_gave_up(&self) {
+        let gave_up = self.ledger.io_gave_up.fetch_add(1, Ordering::SeqCst) + 1;
+        symple_obs::counter_add("store_io.gave_up", 1);
+        if gave_up >= self.failure_budget && !self.demoted.swap(true, Ordering::SeqCst) {
+            self.ledger.store_demoted.fetch_add(1, Ordering::SeqCst);
+            symple_obs::counter_add("store_io.demotions", 1);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Mutex;
+
+    /// A backend that fails a scripted number of times, then succeeds.
+    struct Flaky {
+        failures: Mutex<Vec<io::ErrorKind>>,
+        calls: AtomicU64,
+    }
+
+    impl Flaky {
+        fn new(failures: Vec<io::ErrorKind>) -> Flaky {
+            Flaky {
+                failures: Mutex::new(failures),
+                calls: AtomicU64::new(0),
+            }
+        }
+    }
+
+    impl StoreIo for Flaky {
+        fn read(&self, _path: &Path) -> io::Result<Vec<u8>> {
+            self.calls.fetch_add(1, Ordering::SeqCst);
+            match self.failures.lock().unwrap().pop() {
+                Some(kind) => Err(io::Error::new(kind, "scripted")),
+                None => Ok(b"ok".to_vec()),
+            }
+        }
+        fn write(&self, _path: &Path, _bytes: &[u8]) -> io::Result<()> {
+            Ok(())
+        }
+        fn rename(&self, _from: &Path, _to: &Path) -> io::Result<()> {
+            Ok(())
+        }
+        fn create_dir_all(&self, _path: &Path) -> io::Result<()> {
+            Ok(())
+        }
+        fn remove(&self, _path: &Path) -> io::Result<()> {
+            Ok(())
+        }
+        fn sync(&self, _path: &Path) -> io::Result<()> {
+            Ok(())
+        }
+    }
+
+    fn engine_over(failures: Vec<io::ErrorKind>) -> StoreEngine {
+        StoreEngine::new(Arc::new(Flaky::new(failures)), RetryPolicy::instant(), 2)
+    }
+
+    #[test]
+    fn transient_errors_retry_to_success() {
+        let engine = engine_over(vec![io::ErrorKind::TimedOut, io::ErrorKind::Interrupted]);
+        let out = engine.run(|io| io.read(Path::new("x"))).unwrap();
+        assert_eq!(out, b"ok");
+        let c = engine.ledger().snapshot();
+        assert_eq!(
+            (c.io_errors, c.io_retries, c.io_gave_up, c.store_demoted),
+            (2, 2, 0, 0)
+        );
+    }
+
+    #[test]
+    fn permanent_errors_escalate_immediately() {
+        let engine = engine_over(vec![io::ErrorKind::StorageFull]);
+        let err = engine.run(|io| io.read(Path::new("x"))).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::StorageFull);
+        let c = engine.ledger().snapshot();
+        assert_eq!((c.io_errors, c.io_retries, c.io_gave_up), (1, 0, 1));
+    }
+
+    #[test]
+    fn not_found_is_uncounted_passthrough() {
+        let engine = engine_over(vec![io::ErrorKind::NotFound]);
+        let err = engine.run(|io| io.read(Path::new("x"))).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::NotFound);
+        assert_eq!(engine.ledger().snapshot(), IoCounts::default());
+    }
+
+    #[test]
+    fn exhausted_retries_give_up_and_budget_demotes() {
+        let always: Vec<io::ErrorKind> = vec![io::ErrorKind::TimedOut; 16];
+        let engine = engine_over(always.clone());
+        assert!(engine.run(|io| io.read(Path::new("x"))).is_err());
+        let c = engine.ledger().snapshot();
+        // 3 attempts: 3 errors, 2 retries, 1 give-up; budget 2 not yet hit.
+        assert_eq!((c.io_errors, c.io_retries, c.io_gave_up), (3, 2, 1));
+        assert!(!engine.demoted());
+
+        assert!(engine.run(|io| io.read(Path::new("x"))).is_err());
+        assert!(engine.demoted(), "second give-up reaches the budget");
+        assert_eq!(engine.ledger().snapshot().store_demoted, 1);
+
+        // A third give-up does not double-count the demotion event.
+        assert!(engine.run(|io| io.read(Path::new("x"))).is_err());
+        assert_eq!(engine.ledger().snapshot().store_demoted, 1);
+    }
+
+    #[test]
+    fn ledger_always_balances() {
+        for failures in [
+            vec![],
+            vec![io::ErrorKind::TimedOut],
+            vec![io::ErrorKind::StorageFull],
+            vec![io::ErrorKind::TimedOut; 5],
+            vec![io::ErrorKind::TimedOut, io::ErrorKind::StorageFull],
+        ] {
+            let engine = engine_over(failures);
+            let _ = engine.run(|io| io.read(Path::new("x")));
+            let c = engine.ledger().snapshot();
+            assert_eq!(c.io_errors, c.io_retries + c.io_gave_up, "{c:?}");
+        }
+    }
+
+    #[test]
+    fn backoff_is_deterministic_and_capped() {
+        let p = RetryPolicy::default();
+        for op in [1u64, 7, 99] {
+            for attempt in 1..=6 {
+                let a = p.backoff(op, attempt);
+                let b = p.backoff(op, attempt);
+                assert_eq!(a, b, "same (op, attempt) must schedule identically");
+                assert!(a <= p.backoff_cap);
+            }
+        }
+        // Exponential growth until the cap kicks in.
+        assert!(p.backoff(1, 2) > p.backoff(1, 1));
+        // Different ops jitter differently (decorrelated waiters).
+        assert_ne!(p.backoff(1, 1), p.backoff(2, 1));
+    }
+
+    #[test]
+    fn fault_io_injects_on_schedule_and_counts() {
+        let dir = std::env::temp_dir().join(format!("symple-faultio-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+
+        let plan = StorageFaultPlan {
+            fail_op: vec![(2, StorageFaultKind::Enospc)],
+            tear_write: vec![(2, 3)],
+            ..StorageFaultPlan::default()
+        };
+        let io = FaultIo::new(plan);
+        let a = dir.join("a");
+
+        // Op 1 (write 1): clean.
+        io.write(&a, b"hello world").unwrap();
+        // Op 2: scheduled ENOSPC.
+        let err = io.read(&a).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::StorageFull);
+        // Op 3 (write 2): torn at byte 3 — prefix lands, error reported.
+        let err = io.write(&a, b"hello world").unwrap_err();
+        assert!(is_transient(&err));
+        assert_eq!(std::fs::read(&a).unwrap(), b"hel");
+
+        assert_eq!(io.ops(), 3);
+        assert_eq!(io.injected_errors(), 2);
+        assert_eq!(io.torn_writes(), 1);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn silent_tear_reports_success_but_counts_the_intent() {
+        let dir = std::env::temp_dir().join(format!("symple-silenttear-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+
+        let plan = StorageFaultPlan {
+            tear_write: vec![(1, 4)],
+            silent_tear: true,
+            ..StorageFaultPlan::default()
+        };
+        let io = FaultIo::new(plan);
+        let a = dir.join("a");
+        io.write(&a, b"hello world")
+            .expect("the bug hides the tear");
+        assert_eq!(std::fs::read(&a).unwrap(), b"hell");
+        assert_eq!(io.injected_errors(), 1, "intent is still counted");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn seeded_plans_are_reproducible() {
+        let a = StorageFaultPlan::seeded(42, 16, 3);
+        let b = StorageFaultPlan::seeded(42, 16, 3);
+        assert_eq!(format!("{a:?}"), format!("{b:?}"));
+        let c = StorageFaultPlan::seeded(43, 16, 3);
+        assert_ne!(format!("{a:?}"), format!("{c:?}"));
+    }
+}

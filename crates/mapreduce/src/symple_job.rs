@@ -356,6 +356,11 @@ where
         ..JobMetrics::default()
     };
 
+    // Stores outlive jobs, so I/O outcomes are attributed to this run as
+    // ledger *deltas*: snapshot now, diff at the end.
+    let ckpt_io_start = ckpt.and_then(|c| c.store.io_counts());
+    let cache_io_start = cache.and_then(|c| c.cache.io_counts());
+
     // Map phase: groupby + symbolic aggregation per key, run under the
     // fault-tolerant scheduler. A task whose attempt "fails" (fault
     // injection standing in for a crashed node) is re-executed up to the
@@ -468,6 +473,16 @@ where
     }
     results.sort_by(|a, b| a.0.cmp(&b.0));
     metrics.groups = results.len() as u64;
+
+    if let (Some(start), Some(end)) = (ckpt_io_start, ckpt.and_then(|c| c.store.io_counts())) {
+        metrics.absorb_io(&end.since(&start));
+    }
+    if let (Some(start), Some(end)) = (cache_io_start, cache.and_then(|c| c.cache.io_counts())) {
+        metrics.absorb_io(&end.since(&start));
+    }
+    symple_obs::counter_add("job.io_retries", metrics.io_retries);
+    symple_obs::counter_add("job.io_gave_up", metrics.io_gave_up);
+    symple_obs::counter_add("job.store_demoted", metrics.store_demoted);
     Ok(JobOutput { results, metrics })
 }
 

@@ -8,6 +8,8 @@
 
 use std::fmt::Debug;
 use std::marker::PhantomData;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 
 use symple_core::compose::apply_chain;
 use symple_core::error::{Error, Result};
@@ -17,8 +19,9 @@ use symple_mapreduce::segment::split_into_segments;
 use symple_mapreduce::{
     probe_fault_determinism, run_symple, run_symple_cached, run_symple_checkpointed,
     run_symple_checkpointed_with_faults, run_symple_streaming, run_symple_with_faults,
-    CheckpointCtx, FaultInjector, FaultPlan, GroupBy, JobOutput, MemCheckpointStore,
-    MemSummaryCache, SummaryCacheCtx,
+    CheckpointCtx, DiskSummaryCache, FaultInjector, FaultIo, FaultPlan, GroupBy, JobOutput,
+    MemCheckpointStore, MemSummaryCache, RetryPolicy, StorageFaultPlan, SummaryCache,
+    SummaryCacheCtx,
 };
 
 use crate::cell::{Cell, ExecutorKind, FaultKind};
@@ -52,6 +55,12 @@ pub enum Sabotage {
     /// check in cache frames exists to prevent. Affects
     /// [`ExecutorKind::WarmResweep`] cells only.
     ForgedCacheEntry,
+    /// Run the storage-fault injector with a deliberate bug: a torn write
+    /// is persisted but reported as a success, so the store's retry ledger
+    /// never observes the error the injector counted. The faulted-store
+    /// cell's ledger-balance check must flag the discrepancy. Affects
+    /// [`ExecutorKind::FaultedStore`] cells only.
+    DroppedTear,
 }
 
 impl Sabotage {
@@ -63,6 +72,7 @@ impl Sabotage {
             Sabotage::ReorderChunks => "reorder-chunks",
             Sabotage::StaleCheckpoint => "stale-checkpoint",
             Sabotage::ForgedCacheEntry => "forged-cache-entry",
+            Sabotage::DroppedTear => "dropped-tear",
         }
     }
 
@@ -74,6 +84,7 @@ impl Sabotage {
             "reorder-chunks" => Sabotage::ReorderChunks,
             "stale-checkpoint" => Sabotage::StaleCheckpoint,
             "forged-cache-entry" => Sabotage::ForgedCacheEntry,
+            "dropped-tear" => Sabotage::DroppedTear,
             _ => return None,
         })
     }
@@ -481,6 +492,83 @@ where
         run_symple_cached(&group, &self.uda, &segments, &job, &ctx)
     }
 
+    /// The faulted-store executor: a cold cached run against an on-disk
+    /// summary cache whose I/O layer injects a seeded schedule of errno
+    /// faults, a torn write, and (sometimes) a failed rename — then a
+    /// clean run over whatever survived on disk. The rendered output is
+    /// the *healing* run's: torn or orphaned frames must be quarantined
+    /// and recomputed, never trusted, so the answer is byte-identical to
+    /// a store-less run.
+    ///
+    /// Between the two runs the cell audits the retry ledger: every error
+    /// the injector says it surfaced must be accounted for by the store
+    /// (`io_errors == injected`, `io_errors == io_retries + io_gave_up`).
+    /// Under [`Sabotage::DroppedTear`] the injector tears a write but
+    /// reports success — a bug in the fault harness itself — and the
+    /// audit must flag the imbalance as a finding.
+    fn run_faulted_store(
+        &self,
+        events: &[U::Event],
+        cell: &Cell,
+        sabotage: Sabotage,
+    ) -> Result<JobOutput<u8, U::Output>> {
+        static DIR_SEQ: AtomicU64 = AtomicU64::new(0);
+        let segments = split_into_segments(events, cell.chunks.max(1), 8);
+        let group = SingleKey::<U::Event>::new();
+        let job = cell.job();
+        let dir = std::env::temp_dir().join(format!(
+            "symple-oracle-faulted-{}-{}",
+            std::process::id(),
+            DIR_SEQ.fetch_add(1, Ordering::SeqCst)
+        ));
+
+        let plan = if sabotage == Sabotage::DroppedTear {
+            // The deliberately buggy injector: the very first write is
+            // torn mid-frame and reported as a success.
+            StorageFaultPlan {
+                tear_write: vec![(1, 4)],
+                silent_tear: true,
+                ..StorageFaultPlan::default()
+            }
+        } else {
+            // Deterministic per (input length, chunk count): same cell,
+            // same schedule.
+            let seed = (events.len() as u64) ^ ((cell.chunks as u64) << 32);
+            StorageFaultPlan::seeded(seed, 12, 3)
+        };
+        let io = Arc::new(FaultIo::new(plan));
+        let store_err = |e: std::io::Error| Error::Uda(format!("faulted store: {e}"));
+        let faulted = DiskSummaryCache::with_io(&dir, io.clone(), RetryPolicy::instant(), 2)
+            .map_err(store_err)?;
+        let ctx = SummaryCacheCtx::new(&faulted);
+        // The faulted run's own output is not rendered — it exists to
+        // drive the store through the schedule and leave debris behind.
+        let _ = run_symple_cached(&group, &self.uda, &segments, &job, &ctx);
+
+        // Ledger audit. The temp dir sits on a quiet real disk, so every
+        // error the store observed was injected — and every injected one
+        // must have been observed and classified (retried or given up).
+        let counts = faulted.io_counts().unwrap_or_default();
+        let injected = io.injected_errors();
+        let balanced = counts.io_errors == injected
+            && counts.io_errors == counts.io_retries + counts.io_gave_up;
+        let result = if balanced {
+            // Healing run: a clean store over the survivor directory must
+            // quarantine anything torn and still produce the right answer.
+            let clean = DiskSummaryCache::new(&dir).map_err(store_err)?;
+            let clean_ctx = SummaryCacheCtx::new(&clean);
+            run_symple_cached(&group, &self.uda, &segments, &job, &clean_ctx)
+        } else {
+            Err(Error::Uda(format!(
+                "storage fault ledger imbalance: injected={injected} observed={} \
+                 retries={} gave_up={}",
+                counts.io_errors, counts.io_retries, counts.io_gave_up
+            )))
+        };
+        let _ = std::fs::remove_dir_all(&dir);
+        result
+    }
+
     fn run_mapreduce(&self, events: Vec<U::Event>, cell: &Cell, sabotage: Sabotage) -> String {
         if events.is_empty() {
             return NO_GROUPS.to_string();
@@ -492,6 +580,7 @@ where
             ExecutorKind::Streaming => run_symple_streaming(&group, &self.uda, &segments, &job),
             ExecutorKind::CrashResume => self.run_crash_resume(&events, cell, sabotage),
             ExecutorKind::WarmResweep => self.run_warm_resweep(&events, cell, sabotage),
+            ExecutorKind::FaultedStore => self.run_faulted_store(&events, cell, sabotage),
             _ => match cell.faults {
                 FaultKind::None => run_symple(&group, &self.uda, &segments, &job),
                 plan => {
@@ -661,6 +750,7 @@ mod tests {
             Sabotage::ReorderChunks,
             Sabotage::StaleCheckpoint,
             Sabotage::ForgedCacheEntry,
+            Sabotage::DroppedTear,
         ] {
             assert_eq!(Sabotage::parse(s.as_str()), Some(s));
         }

@@ -34,6 +34,14 @@ pub enum ExecutorKind {
     /// cache equivalence proof says warm must equal cold-on-the-same-input
     /// byte for byte.
     WarmResweep,
+    /// The MapReduce job run twice against an on-disk summary cache whose
+    /// I/O layer injects a seeded storage-fault schedule (errno faults,
+    /// a torn write, a failed rename), then once more clean over the
+    /// survivor directory. The rendered output is the final healing run's
+    /// — and the cell additionally checks that the store's retry ledger
+    /// balances the injector's counters, so an injector bug that hides an
+    /// error (the `dropped-tear` sabotage) surfaces as a finding.
+    FaultedStore,
 }
 
 impl ExecutorKind {
@@ -46,6 +54,7 @@ impl ExecutorKind {
             ExecutorKind::Streaming => "streaming",
             ExecutorKind::CrashResume => "crash-resume",
             ExecutorKind::WarmResweep => "warm-resweep",
+            ExecutorKind::FaultedStore => "faulted-store",
         }
     }
 
@@ -58,6 +67,7 @@ impl ExecutorKind {
             "streaming" => ExecutorKind::Streaming,
             "crash-resume" => ExecutorKind::CrashResume,
             "warm-resweep" => ExecutorKind::WarmResweep,
+            "faulted-store" => ExecutorKind::FaultedStore,
             _ => return None,
         })
     }
@@ -297,6 +307,13 @@ pub fn smoke_matrix() -> Vec<Cell> {
             chunks: 4,
             ..base
         },
+        // Disk-backed cache behind a seeded storage-fault injector; the
+        // healing clean run must still match the reference.
+        Cell {
+            executor: ExecutorKind::FaultedStore,
+            chunks: 4,
+            ..base
+        },
     ]
 }
 
@@ -355,7 +372,11 @@ pub fn deep_matrix() -> Vec<Cell> {
             });
         }
     }
-    for executor in [ExecutorKind::CrashResume, ExecutorKind::WarmResweep] {
+    for executor in [
+        ExecutorKind::CrashResume,
+        ExecutorKind::WarmResweep,
+        ExecutorKind::FaultedStore,
+    ] {
         for &chunks in &[1usize, 4, 6] {
             for &first_segment_concrete in &[true, false] {
                 cells.push(Cell {
@@ -385,6 +406,7 @@ mod tests {
             ExecutorKind::Streaming,
             ExecutorKind::CrashResume,
             ExecutorKind::WarmResweep,
+            ExecutorKind::FaultedStore,
         ] {
             assert_eq!(ExecutorKind::parse(e.as_str()), Some(e));
         }
@@ -416,6 +438,7 @@ mod tests {
                 ExecutorKind::Streaming,
                 ExecutorKind::CrashResume,
                 ExecutorKind::WarmResweep,
+                ExecutorKind::FaultedStore,
             ] {
                 assert!(m.iter().any(|c| c.executor == e), "{e:?} missing");
             }

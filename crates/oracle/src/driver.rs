@@ -508,6 +508,32 @@ mod tests {
     }
 
     #[test]
+    fn dropped_tear_sabotage_is_flagged_by_the_ledger_audit() {
+        let opts = OracleOptions {
+            case_filter: Some("OVF".into()),
+            ..quick_opts()
+        };
+        // An honest injector balances its books: every fault it fires is
+        // observed (and retried or given up) by the store, the healing
+        // run quarantines the debris, and the sweep is clean.
+        let clean = run_oracle(&opts);
+        assert!(clean.clean(), "findings: {:#?}", clean.findings);
+
+        // A buggy injector that tears a write but reports success leaves
+        // the retry ledger short one error. The faulted-store cell's
+        // balance audit must turn that into a finding.
+        let report = run_oracle(&OracleOptions {
+            sabotage: Sabotage::DroppedTear,
+            ..opts
+        });
+        assert!(!report.clean(), "dropped-tear sabotage must be detected");
+        assert!(report
+            .findings
+            .iter()
+            .any(|f| f.artifact.cell.executor == crate::cell::ExecutorKind::FaultedStore));
+    }
+
+    #[test]
     fn analyze_first_is_a_no_op_on_a_well_behaved_case() {
         let base = run_oracle(&quick_opts());
         let analyzed = run_oracle(&OracleOptions {

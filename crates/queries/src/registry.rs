@@ -8,7 +8,7 @@ use symple_datagen::{
     GithubConfig, RedshiftConfig, TwitterConfig,
 };
 use symple_mapreduce::segment::split_into_segments;
-use symple_mapreduce::{GroupBy, JobConfig, Segment, SummaryCacheCtx};
+use symple_mapreduce::{CheckpointCtx, GroupBy, JobConfig, Segment, SummaryCacheCtx};
 
 use crate::bing_q::{b1_uda, b2_uda, b3_variants, gap_variants, B1Group, B2Group, B3Group, B3Uda};
 use crate::funnel::{f1_variants, FunnelGroup, FunnelUda};
@@ -20,7 +20,9 @@ use crate::redshift_q::{
     r1_variants, r2_variants, r3_uda, r3_variants, r4_variants, R1Group, R1Uda, R2Group, R2Uda,
     R3Group, R4Group, R4Uda,
 };
-use crate::runner::{execute, execute_cached, Backend, DataScale, LineGroup, QueryReport};
+use crate::runner::{
+    execute, execute_cached, execute_checkpointed, Backend, DataScale, LineGroup, QueryReport,
+};
 use crate::twitter_q::{t1_variants, T1Group, T1Uda};
 
 /// Static description of one evaluation query (one Table 1 row).
@@ -64,6 +66,17 @@ pub trait QueryRunner: Send + Sync {
         segments: &[Segment<String>],
         job: &JobConfig,
         cache: &SummaryCacheCtx<'_>,
+    ) -> Result<QueryReport>;
+    /// Runs the query on the SYMPLE backend over raw log-line segments
+    /// against a per-job checkpoint store — valid frames under this job id
+    /// are resumed instead of recomputed (the crash-resume path). The
+    /// storage-chaos sweep drives every registry query through this to
+    /// prove checkpoint-side fault schedules never change output bytes.
+    fn run_lines_checkpointed(
+        &self,
+        segments: &[Segment<String>],
+        job: &JobConfig,
+        ckpt: &CheckpointCtx<'_>,
     ) -> Result<QueryReport>;
     /// Raw bytes per input record for I/O accounting.
     fn raw_record_bytes(&self) -> u64;
@@ -176,6 +189,14 @@ macro_rules! runner {
                 cache: &SummaryCacheCtx<'_>,
             ) -> Result<QueryReport> {
                 execute_cached(&LineGroup($group), &$uda, segments, job, cache)
+            }
+            fn run_lines_checkpointed(
+                &self,
+                segments: &[Segment<String>],
+                job: &JobConfig,
+                ckpt: &CheckpointCtx<'_>,
+            ) -> Result<QueryReport> {
+                execute_checkpointed(&LineGroup($group), &$uda, segments, job, ckpt)
             }
             fn raw_record_bytes(&self) -> u64 {
                 $raw
@@ -393,6 +414,14 @@ macro_rules! redshift_runner {
                 cache: &SummaryCacheCtx<'_>,
             ) -> Result<QueryReport> {
                 execute_cached(&LineGroup($group), &$uda, segments, job, cache)
+            }
+            fn run_lines_checkpointed(
+                &self,
+                segments: &[Segment<String>],
+                job: &JobConfig,
+                ckpt: &CheckpointCtx<'_>,
+            ) -> Result<QueryReport> {
+                execute_checkpointed(&LineGroup($group), &$uda, segments, job, ckpt)
             }
             fn raw_record_bytes(&self) -> u64 {
                 if $condensed {

@@ -6,8 +6,9 @@ use std::fmt::Debug;
 use symple_core::error::Result;
 use symple_core::uda::Uda;
 use symple_mapreduce::{
-    run_baseline, run_baseline_sorted, run_sequential_job, run_symple, run_symple_cached, GroupBy,
-    JobConfig, JobMetrics, Segment, SummaryCacheCtx,
+    run_baseline, run_baseline_sorted, run_sequential_job, run_symple, run_symple_cached,
+    run_symple_checkpointed, CheckpointCtx, GroupBy, JobConfig, JobMetrics, Segment,
+    SummaryCacheCtx,
 };
 
 /// Which execution strategy to use.
@@ -168,6 +169,32 @@ where
     U::Output: Send + Debug,
 {
     let out = run_symple_cached(g, uda, segments, job, cache)?;
+    Ok(QueryReport {
+        metrics: out.metrics,
+        output_hash: hash_results(&out.results),
+        output_rows: out.results.len() as u64,
+    })
+}
+
+/// Runs a groupby-aggregate query on the SYMPLE backend against a durable
+/// per-job checkpoint store: chunks with a valid frame under this job id
+/// are resumed from it, everything else is computed and committed. The
+/// report's `metrics.checkpoint_*` (and, on failing disks, `io_*`) fields
+/// say how the store behaved; the output is byte-identical to an
+/// uncheckpointed [`Backend::Symple`] run either way.
+pub fn execute_checkpointed<G, U>(
+    g: &G,
+    uda: &U,
+    segments: &[Segment<G::Record>],
+    job: &JobConfig,
+    ckpt: &CheckpointCtx<'_>,
+) -> Result<QueryReport>
+where
+    G: GroupBy,
+    U: Uda<Event = G::Event>,
+    U::Output: Send + Debug,
+{
+    let out = run_symple_checkpointed(g, uda, segments, job, ckpt)?;
     Ok(QueryReport {
         metrics: out.metrics,
         output_hash: hash_results(&out.results),

@@ -158,7 +158,7 @@ proptest! {
 
 // ------------------------------------------------------- metric folding
 
-/// A fully synthetic [`JobMetrics`] from 30 generated raw values, so the
+/// A fully synthetic [`JobMetrics`] from 34 generated raw values, so the
 /// additivity property exercises every field without wall clocks.
 fn metrics_from(raw: &[u64]) -> JobMetrics {
     let ms = |v: u64| Duration::from_millis(v);
@@ -187,6 +187,10 @@ fn metrics_from(raw: &[u64]) -> JobMetrics {
         cache_misses: raw[27],
         cache_corrupt: raw[28],
         cache_bytes_saved: raw[29],
+        io_retries: raw[30],
+        io_gave_up: raw[31],
+        io_errors: raw[32],
+        store_demoted: raw[33],
         explore: ExploreStats {
             records: raw[12],
             runs: raw[13],
@@ -205,9 +209,9 @@ proptest! {
     /// are counted once — never dropped, never double counted.
     #[test]
     fn fold_metrics_is_additive(
-        a_raw in prop::collection::vec(0u64..1_000_000, 30..31),
-        b_raw in prop::collection::vec(0u64..1_000_000, 30..31),
-        c_raw in prop::collection::vec(0u64..1_000_000, 30..31),
+        a_raw in prop::collection::vec(0u64..1_000_000, 34..35),
+        b_raw in prop::collection::vec(0u64..1_000_000, 34..35),
+        c_raw in prop::collection::vec(0u64..1_000_000, 34..35),
     ) {
         let (a, b) = (metrics_from(&a_raw), metrics_from(&b_raw));
         let f = fold_metrics(a, b);
@@ -242,6 +246,10 @@ proptest! {
         prop_assert_eq!(f.cache_misses, a.cache_misses + b.cache_misses);
         prop_assert_eq!(f.cache_corrupt, a.cache_corrupt + b.cache_corrupt);
         prop_assert_eq!(f.cache_bytes_saved, a.cache_bytes_saved + b.cache_bytes_saved);
+        prop_assert_eq!(f.io_retries, a.io_retries + b.io_retries);
+        prop_assert_eq!(f.io_gave_up, a.io_gave_up + b.io_gave_up);
+        prop_assert_eq!(f.io_errors, a.io_errors + b.io_errors);
+        prop_assert_eq!(f.store_demoted, a.store_demoted + b.store_demoted);
         // Stage-1-owned, stage-2-owned, and bounding fields.
         prop_assert_eq!(f.input_records, a.input_records);
         prop_assert_eq!(f.input_bytes, a.input_bytes);
